@@ -1,0 +1,40 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts its
+*shape* against the paper's reported numbers, and writes the rendered
+rows/series to ``benchmarks/results/`` so the output can be compared to
+the paper directly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Workload scale used by the heavyweight experiments.  0.4 keeps every
+#: benchmark's statistics stable while the whole suite finishes in
+#: minutes; the experiment runners accept any scale for bigger runs.
+SCALE = 0.4
+
+#: Minimal-heap search resolution (bytes).
+RESOLUTION = 8192
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered text under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,32 @@
+"""E-Fig3: the ranked top-4 allocation contexts of TVLA.
+
+Paper shape (Fig. 3): the top contexts are the abstract-state HashMap
+factories, each worth a few percent of total live data, with operation
+distributions "entirely dominated by get operations".
+"""
+
+from repro.profiler.counters import Op
+from repro.analysis.experiments import run_fig3
+
+from conftest import SCALE
+
+
+def test_fig3_top_allocation_contexts(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig3(scale=SCALE, top=4), rounds=1, iterations=1)
+    record_result("fig3_top_contexts", result.render())
+
+    assert len(result.top) == 4
+    for profile in result.top:
+        # All four top contexts are the paper's HashMap factory contexts.
+        assert profile.src_type == "HashMap"
+        assert profile.total_potential > 0
+        # Context rendering carries the factory call stack.
+        assert ";" in profile.render_context()
+        # Get-dominated distribution (Fig. 3's circles).
+        distribution = profile.info.operation_distribution()
+        assert distribution[Op.GET_OBJECT] > 0.5
+
+    # Ranked by potential, descending.
+    potentials = [p.total_potential for p in result.top]
+    assert potentials == sorted(potentials, reverse=True)

@@ -1,0 +1,32 @@
+"""E-Fig8: bloat's footprint spike of empty LinkedLists.
+
+Paper shape (Fig. 8): the collection fraction spikes in the middle of the
+run and falls back after; at the spike, around 25% of the heap is
+LinkedList$Entry objects heading *empty* lists.
+"""
+
+from repro.analysis.experiments import run_fig8
+
+from conftest import SCALE
+
+
+def test_fig8_bloat_collection_spike(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig8(scale=SCALE), rounds=1, iterations=1)
+    record_result("fig8_bloat_spike", result.render())
+
+    fractions = [row[1] for row in result.series]
+    spike_index = result.spike_cycle - 1
+
+    # The spike is an interior maximum: the series falls back after it.
+    assert result.spike_fraction == max(fractions)
+    assert fractions[-1] < 0.75 * result.spike_fraction
+
+    # At the spike, collections dominate, and the sentinel entries of the
+    # never-used lists are roughly the paper's quarter of the heap.
+    assert result.spike_fraction > 0.45
+    assert 0.10 <= result.entry_fraction_at_spike <= 0.45
+
+    benchmark.extra_info["spike_cycle"] = result.spike_cycle
+    benchmark.extra_info["entry_fraction"] = round(
+        result.entry_fraction_at_spike, 3)

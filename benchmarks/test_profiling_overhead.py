@@ -1,0 +1,42 @@
+"""Instrumentation overhead (sections 4.2-4.4).
+
+Paper claims being checked:
+
+* "the statistics are gathered during normal collection operation, no
+  additional performance overhead is incurred" -- the VM-only posture
+  must be free;
+* sampling "further mitigate[s] the cost of obtaining the allocation
+  context";
+* full per-allocation capture is exactly what makes the fully automatic
+  mode expensive, so its overhead must mirror the section 5.4 spread
+  (modest for op-dense TVLA, prohibitive for allocation-dense PMD).
+"""
+
+from repro.analysis.experiments import run_profiling_overhead
+from repro.workloads import PmdWorkload, TvlaWorkload
+
+from conftest import SCALE
+
+
+def test_profiling_overhead_postures(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_profiling_overhead(scale=SCALE,
+                                       benchmarks=(TvlaWorkload,
+                                                   PmdWorkload)),
+        rounds=1, iterations=1)
+    record_result("profiling_overhead", result.render())
+
+    # VM-only statistics ride the GC: zero overhead, to the tick.
+    assert result.overhead("tvla", "vm-only overhead") == 0.0
+    assert result.overhead("pmd", "vm-only overhead") == 0.0
+
+    # Sampling cuts the full cost by a large factor on both benchmarks.
+    for name in ("tvla", "pmd"):
+        full = result.overhead(name, "full-profiling overhead")
+        sampled = result.overhead(name, "sampled (1/8) overhead")
+        assert sampled < 0.25 * full
+
+    # The section 5.4 spread: PMD's capture bill dwarfs TVLA's.
+    assert (result.overhead("pmd", "full-profiling overhead")
+            > 4 * result.overhead("tvla", "full-profiling overhead"))
+    assert result.overhead("tvla", "full-profiling overhead") < 0.6

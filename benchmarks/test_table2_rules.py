@@ -1,0 +1,136 @@
+"""E-Tab2: the built-in rule set of Table 2, end to end.
+
+Runs one micro-workload per rule through the full pipeline (instrumented
+VM -> GC statistics -> report -> engine) and checks that exactly the
+intended fix comes back; the benchmark times the whole sweep, which
+doubles as a rule-engine throughput measure.
+"""
+
+from repro.collections.wrappers import (ChameleonList, ChameleonMap,
+                                        ChameleonSet)
+from repro.profiler.profiler import SemanticProfiler
+from repro.profiler.report import build_report
+from repro.rules.ast import ActionKind
+from repro.rules.engine import RuleEngine
+from repro.runtime.context import ContextKey
+from repro.runtime.vm import RuntimeEnvironment
+
+
+def _small_maps(vm, key):
+    for _ in range(8):
+        mapping = ChameleonMap(vm, context=key)
+        mapping.pin()
+        for k in range(5):
+            mapping.put(k, k)
+
+
+def _small_sets(vm, key):
+    for _ in range(8):
+        s = ChameleonSet(vm, context=key)
+        s.pin()
+        for k in range(4):
+            s.add(k)
+
+
+def _empty_linked_lists(vm, key):
+    for _ in range(16):
+        lst = ChameleonList(vm, src_type="LinkedList", context=key)
+        lst.pin()
+        lst.is_empty()
+
+
+def _never_used(vm, key):
+    for _ in range(16):
+        ChameleonMap(vm, context=key).pin()
+
+
+def _contains_heavy(vm, key):
+    for _ in range(4):
+        lst = ChameleonList(vm, context=key)
+        lst.pin()
+        for i in range(40):
+            lst.add(i)
+        for i in range(40):
+            lst.contains(i)
+
+
+def _random_access_linked(vm, key):
+    for _ in range(4):
+        lst = ChameleonList(vm, src_type="LinkedList", context=key)
+        lst.pin()
+        for i in range(30):
+            lst.add(i)
+        for i in range(30):
+            lst.get(i)
+
+
+def _singletons(vm, key):
+    for _ in range(8):
+        lst = ChameleonList(vm, context=key)
+        lst.pin()
+        lst.add("one")
+        lst.get(0)
+
+
+def _under_capacity(vm, key):
+    for _ in range(8):
+        lst = ChameleonList(vm, context=key)
+        lst.pin()
+        for i in range(40):
+            lst.add(i)
+
+
+def _oversized(vm, key):
+    for _ in range(40):
+        lst = ChameleonList(vm, context=key, initial_capacity=50)
+        lst.pin()
+        lst.add(1)
+        lst.add(2)
+
+
+EXPECTED = [
+    ("small-map", _small_maps, ActionKind.REPLACE, "ArrayMap"),
+    ("small-set", _small_sets, ActionKind.REPLACE, "ArraySet"),
+    ("empty-linked-list", _empty_linked_lists, ActionKind.REPLACE,
+     "LazyArrayList"),
+    ("redundant-collection", _never_used, ActionKind.AVOID_ALLOCATION,
+     None),
+    ("contains-heavy-list", _contains_heavy, ActionKind.REPLACE,
+     "LinkedHashSet"),
+    ("random-access-linked-list", _random_access_linked,
+     ActionKind.REPLACE, "ArrayList"),
+    ("singleton-list", _singletons, ActionKind.REPLACE, "SingletonList"),
+    ("incremental-resizing", _under_capacity, ActionKind.SET_CAPACITY,
+     None),
+    ("oversized-capacity", _oversized, ActionKind.SET_CAPACITY, None),
+]
+
+
+def _sweep():
+    outcomes = []
+    for name, populate, kind, impl in EXPECTED:
+        vm = RuntimeEnvironment(gc_threshold_bytes=None,
+                                profiler=SemanticProfiler())
+        key = ContextKey.synthetic(name, "bench")
+        populate(vm, key)
+        vm.collect()
+        vm.finish()
+        report = build_report(vm.profiler, vm.timeline, vm.contexts)
+        engine = RuleEngine(min_potential_bytes=64)
+        profile = report.context(vm.contexts.intern(key))
+        suggestion = engine.evaluate_context(profile)
+        outcomes.append((name, kind, impl, suggestion))
+    return outcomes
+
+
+def test_table2_rules_fire(benchmark, record_result):
+    outcomes = benchmark(_sweep)
+    lines = ["Table 2: built-in rules on their trigger workloads", "-" * 50]
+    for name, kind, impl, suggestion in outcomes:
+        assert suggestion is not None, f"rule {name} did not fire"
+        assert suggestion.action.kind is kind, (
+            f"{name}: got {suggestion.action.kind}")
+        if impl is not None:
+            assert suggestion.action.impl_name == impl
+        lines.append(f"{name:28s} -> {suggestion.action.render()}")
+    record_result("table2_rules", "\n".join(lines))

@@ -1,0 +1,50 @@
+"""repro: a reproduction of "Chameleon: Adaptive Selection of Collections"
+(Shacham, Vechev, Yahav -- PLDI 2009).
+
+The package simulates the paper's full stack in pure Python:
+
+* :mod:`repro.memory` -- a byte-accurate simulated heap with a
+  collection-aware mark-sweep GC driven by semantic ADT maps;
+* :mod:`repro.runtime` -- the VM: virtual clock/cost model, allocation
+  contexts, sampling;
+* :mod:`repro.collections` -- interchangeable List/Set/Map implementations
+  behind swappable wrappers;
+* :mod:`repro.profiler` -- the semantic profiler (Table 1 statistics);
+* :mod:`repro.rules` -- the Fig. 4 selection-rule language and the Table 2
+  rule set;
+* :mod:`repro.core` -- the Chameleon tool itself, offline and online;
+* :mod:`repro.workloads` -- synthetic stand-ins for the paper's benchmarks;
+* :mod:`repro.analysis` -- harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Chameleon
+    from repro.workloads.tvla import TvlaWorkload
+
+    result = Chameleon().optimize(TvlaWorkload())
+    print(result.render())
+"""
+
+from repro.collections.wrappers import (ChameleonList, ChameleonMap,
+                                        ChameleonSet)
+from repro.collections.registry import default_registry
+from repro.core.apply import ReplacementMap
+from repro.core.chameleon import Chameleon, OptimizationResult, RunMetrics
+from repro.core.config import ToolConfig
+from repro.core.online import OnlineChameleon
+from repro.memory.layout import MemoryModel
+from repro.profiler.profiler import SemanticProfiler
+from repro.rules.builtin import BUILTIN_RULES, DEFAULT_CONSTANTS
+from repro.rules.engine import RuleEngine
+from repro.rules.parser import parse_rule
+from repro.runtime.vm import ImplementationChoice, RuntimeEnvironment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChameleonList", "ChameleonMap", "ChameleonSet", "default_registry",
+    "ReplacementMap", "Chameleon", "OptimizationResult", "RunMetrics",
+    "ToolConfig", "OnlineChameleon", "MemoryModel", "SemanticProfiler",
+    "BUILTIN_RULES", "DEFAULT_CONSTANTS", "RuleEngine", "parse_rule",
+    "ImplementationChoice", "RuntimeEnvironment", "__version__",
+]

@@ -1,0 +1,12 @@
+"""Experiment harness: minimal-heap search and per-figure runners."""
+
+from repro.analysis.heapdump import (HistogramRow, heap_histogram,
+                                     render_histogram)
+from repro.analysis.minheap import MinHeapResult, find_min_heap, measure_min_heap
+from repro.analysis.tables import ExperimentRow, render_series, render_table
+
+__all__ = [
+    "HistogramRow", "heap_histogram", "render_histogram",
+    "MinHeapResult", "find_min_heap", "measure_min_heap",
+    "ExperimentRow", "render_series", "render_table",
+]

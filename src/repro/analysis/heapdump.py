@@ -1,0 +1,78 @@
+"""Plain heap snapshots: the strawman the paper argues against.
+
+Section 2.1: "Using several heap-snapshots taken during program execution
+may reveal the types that are responsible for most of the space
+consumption.  However, a heap snapshot does not correlate the heap
+objects to the point in the program in which they are allocated" -- and,
+section 4.3.2 adds, a snapshot cannot even tell a collection's backing
+``Object[]`` from an unrelated array ("this lack of semantic correlation
+between objects is a common limitation of standard profilers").
+
+:func:`heap_histogram` is that standard profiler: a per-type count/bytes
+table over the current live set, with no ADT attribution and no
+allocation contexts.  It exists so tests and examples can demonstrate
+concretely what the semantic ADT maps add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.runtime.vm import RuntimeEnvironment
+
+__all__ = ["HistogramRow", "heap_histogram", "render_histogram"]
+
+
+@dataclass(frozen=True)
+class HistogramRow:
+    """One type's slice of a heap snapshot."""
+
+    type_name: str
+    count: int
+    bytes: int
+
+
+def heap_histogram(vm: RuntimeEnvironment,
+                   live_only: bool = True) -> List[HistogramRow]:
+    """A jmap-style per-type histogram of the current heap.
+
+    Args:
+        vm: The runtime whose heap to snapshot.
+        live_only: Restrict to root-reachable objects (a GC-triggered
+            dump); otherwise include not-yet-swept garbage.
+
+    Returns:
+        Rows sorted by bytes, descending.  Deliberately *no* semantic
+        attribution: a collection's backing array counts under
+        ``Object[]``, its entries under ``HashMap$Entry`` -- the raw view
+        the paper's semantic profiler improves on.
+    """
+    if live_only:
+        marked = vm.gc._mark()
+        objects = (vm.heap.get(obj_id) for obj_id in marked)
+    else:
+        objects = vm.heap.objects()
+    counts: dict = {}
+    for obj in objects:
+        count, total = counts.get(obj.type_name, (0, 0))
+        counts[obj.type_name] = (count + 1, total + obj.size)
+    rows = [HistogramRow(name, count, total)
+            for name, (count, total) in counts.items()]
+    rows.sort(key=lambda row: row.bytes, reverse=True)
+    return rows
+
+
+def render_histogram(rows: List[HistogramRow], limit: int = 20) -> str:
+    """jmap-histo-style text rendering."""
+    total_bytes = sum(row.bytes for row in rows)
+    lines = [f"{'#':>3} {'type':<24} {'count':>8} {'bytes':>10} {'%':>6}"]
+    for rank, row in enumerate(rows[:limit], start=1):
+        share = 100.0 * row.bytes / total_bytes if total_bytes else 0.0
+        lines.append(f"{rank:>3} {row.type_name:<24} {row.count:>8} "
+                     f"{row.bytes:>10} {share:>5.1f}%")
+    if len(rows) > limit:
+        remaining = sum(row.bytes for row in rows[limit:])
+        lines.append(f"    ... {len(rows) - limit} more types, "
+                     f"{remaining} bytes")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Minimal-heap-size search: the measurement behind Fig. 6.
+
+The paper evaluates every fix by "the minimal-heap size required to run
+the program" (section 5.2, step 6).  The simulated VM gives that measure a
+precise meaning: the smallest heap byte limit under which the workload
+completes without :class:`~repro.memory.heap.OutOfMemoryError` (the VM
+collects when the limit would be exceeded and raises only if the live set
+itself cannot fit).
+
+:func:`find_min_heap` binary-searches the limit.  Because the workloads
+are deterministic, the search is exact down to the requested resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.apply import ReplacementMap
+from repro.core.chameleon import Chameleon
+from repro.memory.heap import OutOfMemoryError
+from repro.workloads.base import Workload
+
+__all__ = ["MinHeapResult", "find_min_heap", "measure_min_heap"]
+
+
+@dataclass(frozen=True)
+class MinHeapResult:
+    """Outcome of one minimal-heap search."""
+
+    min_heap_bytes: int
+    probes: int
+    unconstrained_peak: int
+
+    @property
+    def headroom(self) -> float:
+        """min-heap / peak-live ratio (>1: GC needs slack to operate)."""
+        if self.unconstrained_peak == 0:
+            return 1.0
+        return self.min_heap_bytes / self.unconstrained_peak
+
+
+def find_min_heap(attempt: Callable[[int], bool], low: int, high: int,
+                  resolution: int = 2048) -> tuple:
+    """Binary-search the smallest ``limit`` for which ``attempt(limit)``
+    succeeds.
+
+    Args:
+        attempt: Runs the program under a byte limit; True on completion,
+            False on OOM.  Must be deterministic.
+        low: A limit known (or assumed) to fail; the search never probes
+            below ``low``.
+        high: Upper bracket; doubled until it succeeds.
+        resolution: Terminate when the bracket is this tight.
+
+    Returns:
+        ``(min_heap_bytes, probes)``.
+    """
+    if low < 0 or high <= low:
+        raise ValueError("need 0 <= low < high")
+    probes = 0
+    while not attempt(high):
+        probes += 1
+        low = high
+        high *= 2
+        if high > 1 << 40:
+            raise RuntimeError("workload does not complete in any heap")
+    probes += 1
+    while high - low > resolution:
+        middle = (low + high) // 2
+        probes += 1
+        if attempt(middle):
+            high = middle
+        else:
+            low = middle
+    return high, probes
+
+
+def measure_min_heap(tool: Chameleon, workload: Workload,
+                     policy: Optional[ReplacementMap] = None,
+                     resolution: int = 2048) -> MinHeapResult:
+    """Minimal heap for ``workload`` under ``tool``'s VM configuration.
+
+    The unconstrained peak-live footprint seeds the search bracket: the
+    true minimum is at least the peak live set and (for these workloads)
+    at most a small multiple of it.
+    """
+    _, metrics = tool.plain_run(workload, policy=policy)
+    peak = max(metrics.peak_live_bytes, resolution)
+
+    def attempt(limit: int) -> bool:
+        try:
+            tool.plain_run(workload, policy=policy, heap_limit=limit)
+            return True
+        except OutOfMemoryError:
+            return False
+
+    min_heap, probes = find_min_heap(attempt, low=max(peak // 2, 1),
+                                     high=peak * 2, resolution=resolution)
+    return MinHeapResult(min_heap_bytes=min_heap, probes=probes,
+                         unconstrained_peak=peak)

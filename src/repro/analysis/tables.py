@@ -1,0 +1,103 @@
+"""Plain-text rendering of experiment tables and series.
+
+Every experiment runner in :mod:`repro.analysis.experiments` produces
+structured rows; these helpers print them in the paper-vs-measured format
+used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["ExperimentRow", "render_table", "render_series",
+           "render_fraction_chart", "format_pct"]
+
+
+def format_pct(value: Optional[float]) -> str:
+    """``0.52 -> '52.0%'``; ``None -> 'n/a'``."""
+    if value is None:
+        return "n/a"
+    return f"{100.0 * value:.1f}%"
+
+
+@dataclass
+class ExperimentRow:
+    """One benchmark's paper-vs-measured comparison."""
+
+    benchmark: str
+    metric: str
+    paper: Optional[float]
+    measured: float
+    unit: str = "%"
+    note: str = ""
+
+    def render_values(self) -> tuple:
+        if self.unit == "%":
+            paper = format_pct(self.paper)
+            measured = format_pct(self.measured)
+        elif self.unit == "x":
+            paper = f"{self.paper:.2f}x" if self.paper is not None else "n/a"
+            measured = f"{self.measured:.2f}x"
+        else:
+            paper = f"{self.paper}" if self.paper is not None else "n/a"
+            measured = f"{self.measured}"
+        return paper, measured
+
+
+def render_table(title: str, rows: Sequence[ExperimentRow]) -> str:
+    """A fixed-width paper-vs-measured table."""
+    lines = [title, "-" * len(title),
+             f"{'benchmark':<16} {'metric':<26} {'paper':>10} "
+             f"{'measured':>10}  note"]
+    for row in rows:
+        paper, measured = row.render_values()
+        lines.append(f"{row.benchmark:<16} {row.metric:<26} {paper:>10} "
+                     f"{measured:>10}  {row.note}")
+    return "\n".join(lines)
+
+
+def render_series(title: str, header: Sequence[str],
+                  rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width numeric series (Fig. 2 / Fig. 8 style)."""
+    widths = [max(len(str(h)), 9) for h in header]
+    lines = [title, "-" * len(title),
+             "  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        rendered = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                rendered.append(f"{value:.3f}".rjust(width))
+            else:
+                rendered.append(str(value).rjust(width))
+        lines.append("  ".join(rendered))
+    return "\n".join(lines)
+
+
+def render_fraction_chart(series: Sequence[Sequence[float]],
+                          width: int = 60) -> str:
+    """ASCII rendering of a (cycle, live, used, core) fraction series.
+
+    Each row draws the three nested Fig. 2 / Fig. 8 measures as stacked
+    segments of one bar: ``#`` up to *core*, ``=`` up to *used*, ``-`` up
+    to *live*.  Fractions are clamped to [0, 1].
+    """
+    if width < 10:
+        raise ValueError("chart width must be at least 10 columns")
+    lines = [f"{'cycle':>5}  |{'0%':<{width - 4}}100%|",
+             f"{'':>5}  +{'-' * width}+"]
+    for cycle, live, used, core in series:
+        live = min(max(live, 0.0), 1.0)
+        used = min(max(used, 0.0), live)
+        core = min(max(core, 0.0), used)
+        core_cols = round(core * width)
+        used_cols = round(used * width)
+        live_cols = round(live * width)
+        bar = ("#" * core_cols
+               + "=" * (used_cols - core_cols)
+               + "-" * (live_cols - used_cols))
+        lines.append(f"{cycle:>5}  |{bar:<{width}}|")
+    lines.append(f"{'':>5}  +{'-' * width}+")
+    lines.append(f"{'':>5}   # core   = used   - live "
+                 "(fractions of live data)")
+    return "\n".join(lines)

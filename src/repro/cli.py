@@ -1,0 +1,194 @@
+"""Command-line interface for the reproduction.
+
+Mirrors how the paper's tool is used: run an application under semantic
+profiling, read the ranked contexts and suggestions, apply the fixes and
+compare, or regenerate any of the evaluation's tables and figures.
+
+Examples::
+
+    chameleon-repro list
+    chameleon-repro profile tvla --scale 0.3 --top 5
+    chameleon-repro optimize findbugs
+    chameleon-repro online pmd --scale 0.3
+    chameleon-repro experiment fig6 --scale 0.4
+    chameleon-repro experiment all
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments
+from repro.core.chameleon import Chameleon
+from repro.core.config import ToolConfig
+from repro.core.online import OnlineChameleon
+from repro.rules.engine import RuleEngine
+from repro.workloads import default_workload_registry
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig2": lambda args: experiments.run_fig2(scale=args.scale).render(),
+    "fig3": lambda args: experiments.run_fig3(scale=args.scale).render(),
+    "fig6": lambda args: experiments.run_fig6(
+        scale=args.scale, resolution=args.resolution).render(),
+    "fig7": lambda args: experiments.run_fig7(
+        scale=args.scale, resolution=args.resolution).render(),
+    "fig8": lambda args: experiments.run_fig8(scale=args.scale).render(),
+    "online": lambda args: experiments.run_online(scale=args.scale).render(),
+    "hybrid": lambda args: experiments.run_hybrid_ablation(
+        scale=args.scale).render(),
+    "overhead": lambda args: experiments.run_profiling_overhead(
+        scale=args.scale).render(),
+    "all": lambda args: experiments.run_all(
+        scale=args.scale, resolution=args.resolution),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="chameleon-repro",
+        description="Chameleon (PLDI 2009) reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the bundled workloads")
+
+    def add_workload_args(p):
+        p.add_argument("workload", help="workload name (see 'list')")
+        p.add_argument("--scale", type=float, default=0.4,
+                       help="workload scale factor (default 0.4)")
+        p.add_argument("--seed", type=int, default=2009)
+
+    profile = sub.add_parser(
+        "profile", help="run under semantic profiling; print the report")
+    add_workload_args(profile)
+    profile.add_argument("--top", type=int, default=5,
+                         help="contexts/suggestions to show")
+    profile.add_argument("--fractions", action="store_true",
+                         help="also print the per-GC-cycle fraction series")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the report and suggestions as JSON")
+
+    optimize = sub.add_parser(
+        "optimize", help="profile, apply suggestions, compare before/after")
+    add_workload_args(optimize)
+    optimize.add_argument("--top", type=int, default=None,
+                          help="apply only the top N suggestions")
+
+    online = sub.add_parser(
+        "online", help="run in fully automatic (online) mode")
+    add_workload_args(online)
+    online.add_argument("--retrofit", action="store_true",
+                        help="also convert already-live instances")
+
+    histogram = sub.add_parser(
+        "histogram",
+        help="jmap-style per-type heap snapshot (the pre-Chameleon view)")
+    add_workload_args(histogram)
+    histogram.add_argument("--limit", type=int, default=15,
+                           help="rows to show")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS),
+                            help="which artifact to regenerate")
+    experiment.add_argument("--scale", type=float, default=0.4)
+    experiment.add_argument("--resolution", type=int, default=8192,
+                            help="min-heap search resolution in bytes")
+    return parser
+
+
+def _make_workload(args):
+    registry = default_workload_registry()
+    try:
+        return registry.create(args.workload, seed=args.seed,
+                               scale=args.scale)
+    except KeyError:
+        names = ", ".join(registry.names())
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; available: {names}")
+
+
+def _cmd_list(args) -> str:
+    registry = default_workload_registry()
+    lines = ["bundled workloads:"]
+    for name in registry.names():
+        workload = registry.create(name)
+        lines.append(f"  {name:16s} {type(workload).__doc__.splitlines()[0]}")
+    return "\n".join(lines)
+
+
+def _cmd_profile(args) -> str:
+    tool = Chameleon(ToolConfig())
+    session = tool.profile(_make_workload(args))
+    if args.json:
+        import json
+
+        return json.dumps(
+            {"report": session.report.to_dict(top=args.top),
+             "suggestions": [s.to_dict() for s in session.suggestions]},
+            indent=2)
+    parts = [session.report.render_top_contexts(args.top), "",
+             RuleEngine.render(session.suggestions, limit=args.top)]
+    if args.fractions:
+        parts += ["", session.report.render_fractions()]
+    parts += ["", f"run: {session.metrics.ticks} ticks, "
+                  f"peak {session.metrics.peak_live_bytes} bytes, "
+                  f"{session.metrics.gc_cycles} GC cycles"]
+    return "\n".join(parts)
+
+
+def _cmd_optimize(args) -> str:
+    tool = Chameleon(ToolConfig())
+    result = tool.optimize(_make_workload(args), top=args.top)
+    return "\n".join([RuleEngine.render(result.session.suggestions,
+                                        limit=args.top),
+                      "", result.policy.render(), "", result.render()])
+
+
+def _cmd_online(args) -> str:
+    config = ToolConfig(online_retrofit_live=args.retrofit)
+    result = OnlineChameleon(config).run(_make_workload(args))
+    return result.render()
+
+
+def _cmd_histogram(args) -> str:
+    from repro.analysis.heapdump import heap_histogram, render_histogram
+
+    tool = Chameleon(ToolConfig())
+    vm, _ = tool.plain_run(_make_workload(args))
+    rows = heap_histogram(vm)
+    return ("Per-type heap snapshot at end of run (no ADT attribution,\n"
+            "no allocation contexts -- compare with 'profile'):\n"
+            + render_histogram(rows, limit=args.limit))
+
+
+def _cmd_experiment(args) -> str:
+    return _EXPERIMENTS[args.name](args)
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "profile": _cmd_profile,
+    "optimize": _cmd_optimize,
+    "online": _cmd_online,
+    "histogram": _cmd_histogram,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,339 @@
+"""Shared machinery of the interchangeable collection implementations.
+
+Every implementation in :mod:`repro.collections` is a Python object that
+*models a Java collection's memory behaviour* on the simulated heap: it
+allocates an anchor heap object for itself, backing arrays / entry objects
+for its internals, charges the virtual clock for every operation, and
+answers the :class:`~repro.memory.semantic_maps.AdtFootprint` protocol so
+the collection-aware GC can attribute its bytes.
+
+Element identity follows Java semantics: application records
+(:class:`~repro.memory.heap.HeapObject` values) compare by identity, while
+primitives compare by value and are *boxed* -- storing the int ``7`` in a
+reference-based collection allocates a 16-byte box object on the simulated
+heap, which is precisely the overhead the paper's ``IntArray``
+implementation exists to avoid.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import (TYPE_CHECKING, Any, Dict, Hashable, Iterable,
+                    Iterator, Optional, Tuple)
+
+from repro.memory.heap import HeapObject
+from repro.memory.semantic_maps import FootprintTriple
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.runtime.vm import RuntimeEnvironment
+
+__all__ = [
+    "CollectionKind",
+    "UnsupportedOperation",
+    "element_key",
+    "values_equal",
+    "element_hash",
+    "BoxPool",
+    "CollectionImpl",
+    "ListImpl",
+    "SetImpl",
+    "MapImpl",
+]
+
+
+class CollectionKind(enum.Enum):
+    """The three abstract data types the library provides."""
+
+    LIST = "List"
+    SET = "Set"
+    MAP = "Map"
+
+
+class UnsupportedOperation(Exception):
+    """An implementation does not support the requested operation
+    (immutable singletons, index access on hash-backed lists, ...)."""
+
+
+def element_key(value: Any) -> Hashable:
+    """A hashable identity key for ``value`` under Java-like semantics.
+
+    Heap objects key by identity; everything else keys by type and value
+    (so ``1`` and ``True`` stay distinct, as ``Integer``/``Boolean`` would).
+    """
+    if isinstance(value, HeapObject):
+        return ("obj", value.obj_id)
+    return ("val", type(value).__name__, value)
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Java-like element equality: identity for records, value otherwise."""
+    if isinstance(a, HeapObject) or isinstance(b, HeapObject):
+        return a is b
+    if type(a) is not type(b):
+        return False
+    return a == b
+
+
+def element_hash(value: Any) -> int:
+    """A deterministic hash code for ``value``."""
+    if isinstance(value, HeapObject):
+        # Identity hash, as Object.hashCode() would give.
+        return value.obj_id * 0x9E3779B1 & 0x7FFFFFFF
+    return hash(element_key(value)) & 0x7FFFFFFF
+
+
+class BoxPool:
+    """Per-collection boxing of primitive elements.
+
+    Maps each stored primitive to a heap-allocated box object with a
+    reference count equal to the number of occurrences in the collection.
+    Storage sites (backing arrays, entries) reference the box's heap id;
+    once the last occurrence is released the pool forgets the box and it
+    becomes garbage.
+
+    Heap-object elements pass through unboxed: :meth:`ref_for` simply
+    returns their own id.
+    """
+
+    def __init__(self, vm: "RuntimeEnvironment") -> None:
+        self._vm = vm
+        self._boxes: Dict[Hashable, Tuple[int, int]] = {}  # key -> (id, rc)
+
+    def ref_for(self, value: Any) -> int:
+        """The heap id a storage site should reference for ``value``,
+        allocating a box for primitives.  Call once per stored occurrence."""
+        if isinstance(value, HeapObject):
+            return value.obj_id
+        key = element_key(value)
+        entry = self._boxes.get(key)
+        if entry is None:
+            box = self._vm.allocate("Box", self._vm.model.box_size())
+            self._boxes[key] = (box.obj_id, 1)
+            return box.obj_id
+        box_id, refcount = entry
+        self._boxes[key] = (box_id, refcount + 1)
+        return box_id
+
+    def release(self, value: Any) -> int:
+        """Release one stored occurrence of ``value``; returns the heap id
+        the storage site must now drop its reference to."""
+        if isinstance(value, HeapObject):
+            return value.obj_id
+        key = element_key(value)
+        box_id, refcount = self._boxes[key]
+        if refcount == 1:
+            del self._boxes[key]
+        else:
+            self._boxes[key] = (box_id, refcount - 1)
+        return box_id
+
+    def peek(self, value: Any) -> Optional[int]:
+        """The current heap id for ``value`` without changing refcounts."""
+        if isinstance(value, HeapObject):
+            return value.obj_id
+        entry = self._boxes.get(element_key(value))
+        return entry[0] if entry is not None else None
+
+    @property
+    def box_count(self) -> int:
+        """Number of live boxes in the pool."""
+        return len(self._boxes)
+
+
+class CollectionImpl:
+    """Base class of every backing implementation.
+
+    Subclasses allocate ``self.anchor`` (their heap presence) in their
+    constructor via :meth:`_allocate_anchor` and keep its ``refs`` edges in
+    sync with their internal structure.  The anchor's payload is the
+    implementation instance itself, which is what the semantic-map registry
+    dispatches on.
+    """
+
+    IMPL_NAME = "CollectionImpl"
+    KINDS: frozenset = frozenset()
+    DEFAULT_CAPACITY = 0
+
+    def __init__(self, vm: "RuntimeEnvironment",
+                 initial_capacity: Optional[int] = None,
+                 context_id: Optional[int] = None) -> None:
+        if initial_capacity is not None and initial_capacity < 0:
+            raise ValueError("initial capacity cannot be negative")
+        self.vm = vm
+        self.context_id = context_id
+        self.initial_capacity = initial_capacity
+        self.boxes = BoxPool(vm)
+        self.anchor: Optional[HeapObject] = None
+
+    # -- anchor management -------------------------------------------------
+    def _allocate_anchor(self, ref_fields: int, int_fields: int) -> HeapObject:
+        size = self.vm.model.object_size(ref_fields=ref_fields,
+                                         int_fields=int_fields)
+        self.anchor = self.vm.allocate(self.IMPL_NAME, size, payload=self,
+                                       context_id=self.context_id)
+        return self.anchor
+
+    @property
+    def anchor_id(self) -> int:
+        """Heap id of the implementation's anchor object."""
+        return self.anchor.obj_id
+
+    # -- timing ------------------------------------------------------------
+    def charge(self, ticks: int) -> None:
+        """Bill ``ticks`` of operation cost to the VM clock."""
+        self.vm.charge(ticks)
+
+    # -- AdtFootprint protocol ----------------------------------------------
+    def adt_footprint(self) -> FootprintTriple:
+        raise NotImplementedError
+
+    def adt_internal_ids(self) -> Iterable[int]:
+        raise NotImplementedError
+
+    def adt_element_count(self) -> int:
+        return self.size
+
+    # -- common collection surface -------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of stored elements."""
+        raise NotImplementedError
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the collection holds no elements."""
+        return self.size == 0
+
+    def iter_values(self) -> Iterator[Any]:
+        """Iterate stored values, charging per-step traversal cost."""
+        raise NotImplementedError
+
+    def peek_values(self) -> list:
+        """Stored values as a list, without charging (test/debug hook)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Remove every element."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.IMPL_NAME} size={self.size}>"
+
+
+class ListImpl(CollectionImpl):
+    """Operation surface of list implementations (``java.util.List``)."""
+
+    KINDS = frozenset({CollectionKind.LIST})
+
+    def add(self, value: Any) -> None:
+        """Append ``value``."""
+        raise NotImplementedError
+
+    def add_at(self, index: int, value: Any) -> None:
+        """Insert ``value`` at ``index`` (shifting the tail)."""
+        raise NotImplementedError
+
+    def get(self, index: int) -> Any:
+        """The element at ``index``."""
+        raise NotImplementedError
+
+    def set_at(self, index: int, value: Any) -> Any:
+        """Replace the element at ``index``; returns the old element."""
+        raise NotImplementedError
+
+    def remove_at(self, index: int) -> Any:
+        """Remove and return the element at ``index``."""
+        raise NotImplementedError
+
+    def remove_first(self) -> Any:
+        """Remove and return the head element."""
+        if self.is_empty:
+            raise IndexError("remove_first on empty list")
+        return self.remove_at(0)
+
+    def remove_value(self, value: Any) -> bool:
+        """Remove the first occurrence of ``value``; True if found."""
+        index = self.index_of(value)
+        if index < 0:
+            return False
+        self.remove_at(index)
+        return True
+
+    def index_of(self, value: Any) -> int:
+        """Index of the first occurrence of ``value``, or -1."""
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` occurs in the list."""
+        return self.index_of(value) >= 0
+
+    def _check_index(self, index: int, upper: int) -> None:
+        if not 0 <= index < upper:
+            raise IndexError(f"index {index} out of range [0, {upper})")
+
+
+class SetImpl(CollectionImpl):
+    """Operation surface of set implementations (``java.util.Set``)."""
+
+    KINDS = frozenset({CollectionKind.SET})
+
+    def add(self, value: Any) -> bool:
+        """Add ``value``; returns False if it was already present."""
+        raise NotImplementedError
+
+    def remove_value(self, value: Any) -> bool:
+        """Remove ``value``; True if it was present."""
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        """Membership test."""
+        raise NotImplementedError
+
+
+class MapImpl(CollectionImpl):
+    """Operation surface of map implementations (``java.util.Map``)."""
+
+    KINDS = frozenset({CollectionKind.MAP})
+
+    def put(self, key: Any, value: Any) -> Any:
+        """Associate ``key`` with ``value``; returns the previous value."""
+        raise NotImplementedError
+
+    def get(self, key: Any) -> Any:
+        """The value for ``key``, or ``None``."""
+        raise NotImplementedError
+
+    def remove_key(self, key: Any) -> Any:
+        """Remove ``key``'s mapping; returns the removed value or ``None``."""
+        raise NotImplementedError
+
+    def contains_key(self, key: Any) -> bool:
+        """Whether ``key`` is mapped."""
+        raise NotImplementedError
+
+    def contains_value(self, value: Any) -> bool:
+        """Whether any mapping has ``value`` (linear in all impls)."""
+        for _, stored in self.iter_items():
+            if values_equal(stored, value):
+                return True
+        return False
+
+    def iter_items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs, charging traversal cost."""
+        raise NotImplementedError
+
+    def peek_items(self) -> list:
+        """Stored pairs as a list, without charging (test/debug hook)."""
+        raise NotImplementedError
+
+    def peek_values(self) -> list:
+        return [value for _, value in self.peek_items()]
+
+    def iter_values(self) -> Iterator[Any]:
+        for _, value in self.iter_items():
+            yield value
+
+    def iter_keys(self) -> Iterator[Any]:
+        """Iterate keys, charging traversal cost."""
+        for key, _ in self.iter_items():
+            yield key

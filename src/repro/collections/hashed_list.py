@@ -1,0 +1,104 @@
+"""A list API backed by an insertion-ordered hash set.
+
+Table 2's first rule replaces an ``ArrayList`` that performs "a large
+volume of contains operations on a large sized list" with a
+``LinkedHashSet``.  The program still speaks the List interface, so this
+adapter provides list semantics (insertion order, positional reads) over a
+linked hash table: ``contains`` becomes O(1) while ``get(i)`` degrades to
+an order-walk -- which is exactly why the built-in rule only fires when
+indexed reads are absent.
+
+Like a real replacement by a set, duplicates are dropped; Chameleon only
+suggests this replacement for contexts whose usage never relies on
+duplicates (add/contains/iterate-dominated), mirroring the paper's remark
+that it optimises selection and leaves equivalence to the user/rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.collections.base import ListImpl, UnsupportedOperation, values_equal
+from repro.collections.hashing import HashTableEngine
+from repro.memory.semantic_maps import FootprintTriple
+
+__all__ = ["HashBackedListImpl"]
+
+
+class HashBackedListImpl(ListImpl):
+    """Insertion-ordered, deduplicating hash-backed list."""
+
+    IMPL_NAME = "LinkedHashSet"
+    DEFAULT_CAPACITY = 16
+
+    def __init__(self, vm, initial_capacity: Optional[int] = None,
+                 context_id: Optional[int] = None) -> None:
+        super().__init__(vm, initial_capacity, context_id)
+        self._allocate_anchor(ref_fields=1, int_fields=3)
+        self._table = HashTableEngine(
+            self, is_map=False, linked=True,
+            initial_capacity=(initial_capacity if initial_capacity is not None
+                              else self.DEFAULT_CAPACITY))
+
+    def add(self, value: Any) -> None:
+        self._table.put(value, None)
+
+    def add_at(self, index: int, value: Any) -> None:
+        raise UnsupportedOperation(
+            "hash-backed list does not support positional insertion")
+
+    def get(self, index: int) -> Any:
+        self._check_index(index, self._table.count)
+        for i, entry in enumerate(self._table.iter_entries()):
+            if i == index:
+                return entry.key
+        raise AssertionError("unreachable: index checked against count")
+
+    def set_at(self, index: int, value: Any) -> Any:
+        raise UnsupportedOperation(
+            "hash-backed list does not support positional update")
+
+    def remove_at(self, index: int) -> Any:
+        value = self.get(index)
+        self._table.remove(value)
+        return value
+
+    def remove_value(self, value: Any) -> bool:
+        return self._table.remove(value) is not HashTableEngine.missing()
+
+    def index_of(self, value: Any) -> int:
+        # Membership is a hash probe; the position (rarely wanted by the
+        # workloads this backs) costs an order walk.
+        if self._table.get_entry(value) is None:
+            return -1
+        for i, entry in enumerate(self._table.iter_entries()):
+            if values_equal(entry.key, value):
+                return i
+        raise AssertionError("unreachable: entry known present")
+
+    def contains(self, value: Any) -> bool:
+        return self._table.get_entry(value) is not None
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def iter_values(self) -> Iterator[Any]:
+        for entry in self._table.iter_entries():
+            yield entry.key
+
+    @property
+    def size(self) -> int:
+        return self._table.count
+
+    def peek_values(self) -> list:
+        return self._table.peek_keys()
+
+    def adt_footprint(self) -> FootprintTriple:
+        n = self._table.count
+        live = self.anchor.size + self._table.live_bytes()
+        used = self.anchor.size + self._table.used_bytes()
+        core = self.vm.model.core_size(n) if n else 0
+        return FootprintTriple(live, used, core)
+
+    def adt_internal_ids(self) -> Iterator[int]:
+        return self._table.internal_ids()

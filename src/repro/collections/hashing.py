@@ -1,0 +1,284 @@
+"""Chained hash-table engine shared by the hash-backed sets and maps.
+
+Models the classic ``java.util.HashMap`` design the paper's space analysis
+is built on: an ``Object[]`` bucket table plus one *entry object per
+mapping*.  On the 32-bit layout an entry weighs 24 bytes (header + three
+pointers / cached hash) -- the figure section 2.3 uses to explain why
+shrinking initial capacities cannot fix HashMap bloat.  The linked variant
+(``LinkedHashMap``/``LinkedHashSet``) carries two extra references per
+entry and iterates in insertion order without scanning empty buckets.
+
+The engine is *not* an ADT itself: it attaches its table array and entry
+objects to an owning :class:`~repro.collections.base.CollectionImpl`'s
+anchor, and the owner reports them as ADT internals to the collector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.collections.base import CollectionImpl, element_hash, values_equal
+from repro.memory.heap import HeapObject
+
+__all__ = ["HashEntry", "HashTableEngine", "next_power_of_two"]
+
+_MISSING = object()
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= max(value, 1)."""
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+class HashEntry:
+    """One chained entry: key, optional value, cached hash, heap object."""
+
+    __slots__ = ("key", "value", "hash_code", "heap_obj")
+
+    def __init__(self, key: Any, value: Any, hash_code: int,
+                 heap_obj: HeapObject) -> None:
+        self.key = key
+        self.value = value
+        self.hash_code = hash_code
+        self.heap_obj = heap_obj
+
+
+class HashTableEngine:
+    """Bucket table + entry-object management for an owning ADT."""
+
+    def __init__(self, owner: CollectionImpl, *, is_map: bool,
+                 linked: bool = False, initial_capacity: Optional[int] = None,
+                 load_factor: float = 0.75, lazy: bool = False) -> None:
+        if load_factor <= 0:
+            raise ValueError("load factor must be positive")
+        self.owner = owner
+        self.is_map = is_map
+        self.linked = linked
+        self.load_factor = load_factor
+        self.default_capacity = next_power_of_two(
+            initial_capacity if initial_capacity is not None else 16)
+        self._table_obj: Optional[HeapObject] = None
+        self._buckets: List[List[HashEntry]] = []
+        self._order: List[HashEntry] = []  # insertion order (linked variant)
+        self._count = 0
+        if not lazy:
+            self._allocate_table(self.default_capacity)
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    @property
+    def entry_size(self) -> int:
+        """Bytes per entry object (3 refs + hash; linked adds 2 refs)."""
+        model = self.owner.vm.model
+        refs = 5 if self.linked else 3
+        return model.object_size(ref_fields=refs, int_fields=1)
+
+    @property
+    def entry_type_name(self) -> str:
+        base = "LinkedHashMap" if self.linked else "HashMap"
+        return f"{base}$Entry"
+
+    def _allocate_table(self, capacity: int) -> None:
+        vm = self.owner.vm
+        old = self._table_obj
+        new = vm.allocate("Object[]", vm.model.ref_array_size(capacity),
+                          context_id=self.owner.context_id)
+        if old is not None:
+            for ref_id, count in old.refs.items():
+                new.refs[ref_id] = count
+            old.clear_refs()
+            self.owner.anchor.remove_ref(old.obj_id)
+        self.owner.anchor.add_ref(new.obj_id)
+        self._table_obj = new
+        old_buckets = self._buckets
+        self._buckets = [[] for _ in range(capacity)]
+        relinked = 0
+        for bucket in old_buckets:
+            for entry in bucket:
+                self._buckets[entry.hash_code & (capacity - 1)].append(entry)
+                relinked += 1
+        if relinked:
+            self.owner.charge(vm.costs.entry_link * relinked)
+
+    def _ensure_table(self) -> None:
+        if self._table_obj is None:
+            self._allocate_table(self.default_capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Current bucket-table capacity (0 before lazy allocation)."""
+        return len(self._buckets)
+
+    @property
+    def count(self) -> int:
+        """Number of stored entries."""
+        return self._count
+
+    @property
+    def table_allocated(self) -> bool:
+        """Whether the bucket table exists yet."""
+        return self._table_obj is not None
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def _find(self, key: Any) -> Tuple[int, Optional[HashEntry]]:
+        """Hash and probe for ``key``; returns (hash, entry-or-None).
+
+        Charges the hash computation plus one probe per chain link
+        examined -- the constant-factor cost that makes small ArrayMaps
+        faster than small HashMaps.
+        """
+        costs = self.owner.vm.costs
+        hash_code = element_hash(key)
+        self.owner.charge(costs.hash_compute)
+        if not self._buckets:
+            self.owner.charge(costs.hash_probe)
+            return hash_code, None
+        bucket = self._buckets[hash_code & (len(self._buckets) - 1)]
+        probes = 1
+        found = None
+        for entry in bucket:
+            if entry.hash_code == hash_code and values_equal(entry.key, key):
+                found = entry
+                break
+            probes += 1
+        self.owner.charge(costs.hash_probe * probes)
+        return hash_code, found
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any) -> Any:
+        """Insert or update; returns the previous value (or ``_MISSING``
+        sentinel exposed via :meth:`missing`)."""
+        vm = self.owner.vm
+        self._ensure_table()
+        hash_code, entry = self._find(key)
+        if entry is not None:
+            old = entry.value
+            if self.is_map:
+                entry.heap_obj.remove_ref(self.owner.boxes.release(old))
+                entry.heap_obj.add_ref(self.owner.boxes.ref_for(value))
+            entry.value = value
+            return old
+        heap_entry = vm.allocate(self.entry_type_name, self.entry_size,
+                                 context_id=self.owner.context_id)
+        heap_entry.add_ref(self.owner.boxes.ref_for(key))
+        if self.is_map:
+            heap_entry.add_ref(self.owner.boxes.ref_for(value))
+        self._table_obj.add_ref(heap_entry.obj_id)
+        new_entry = HashEntry(key, value, hash_code, heap_entry)
+        self._buckets[hash_code & (len(self._buckets) - 1)].append(new_entry)
+        self._order.append(new_entry)
+        self._count += 1
+        self.owner.charge(vm.costs.entry_link)
+        if self._count > len(self._buckets) * self.load_factor:
+            self._allocate_table(len(self._buckets) * 2)
+        return _MISSING
+
+    def remove(self, key: Any) -> Any:
+        """Remove ``key``'s entry; returns old value or the missing
+        sentinel."""
+        if self._table_obj is None:
+            _, _ = self._find(key)
+            return _MISSING
+        hash_code, entry = self._find(key)
+        if entry is None:
+            return _MISSING
+        bucket = self._buckets[hash_code & (len(self._buckets) - 1)]
+        bucket.remove(entry)
+        self._order.remove(entry)
+        entry.heap_obj.remove_ref(self.owner.boxes.release(entry.key))
+        if self.is_map:
+            entry.heap_obj.remove_ref(self.owner.boxes.release(entry.value))
+        self._table_obj.remove_ref(entry.heap_obj.obj_id)
+        self._count -= 1
+        self.owner.charge(self.owner.vm.costs.entry_link)
+        return entry.value
+
+    def get_entry(self, key: Any) -> Optional[HashEntry]:
+        """Probe for ``key`` without mutating."""
+        if self._table_obj is None and self._count == 0:
+            self.owner.charge(self.owner.vm.costs.hash_compute
+                              + self.owner.vm.costs.hash_probe)
+            return None
+        _, entry = self._find(key)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (table retained, as in Java)."""
+        for entry in self._order:
+            entry.heap_obj.remove_ref(self.owner.boxes.release(entry.key))
+            if self.is_map:
+                entry.heap_obj.remove_ref(self.owner.boxes.release(entry.value))
+            self._table_obj.remove_ref(entry.heap_obj.obj_id)
+        self.owner.charge(self.owner.vm.costs.entry_link * self._count)
+        self._order.clear()
+        for bucket in self._buckets:
+            bucket.clear()
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def iter_entries(self) -> Iterator[HashEntry]:
+        """Iterate entries, charging the variant-appropriate cost.
+
+        The plain table scans every bucket slot (paying for empty slots,
+        which is why iterating sparse HashMaps is slow); the linked
+        variant walks the insertion-order chain only.
+        """
+        costs = self.owner.vm.costs
+        if self.linked:
+            for entry in list(self._order):
+                self.owner.charge(costs.link_traverse_per_node)
+                yield entry
+        else:
+            for bucket in self._buckets:
+                self.owner.charge(costs.array_access)
+                for entry in list(bucket):
+                    self.owner.charge(costs.link_traverse_per_node)
+                    yield entry
+
+    # ------------------------------------------------------------------
+    # Footprint pieces
+    # ------------------------------------------------------------------
+    def live_bytes(self) -> int:
+        """Table array + all entry objects."""
+        table = self._table_obj.size if self._table_obj is not None else 0
+        return table + self.entry_size * self._count
+
+    def used_bytes(self) -> int:
+        """Occupied table slots + all entry objects."""
+        if self._table_obj is None:
+            return 0
+        model = self.owner.vm.model
+        occupied = sum(1 for bucket in self._buckets if bucket)
+        return (model.align(model.array_header_bytes
+                            + occupied * model.pointer_bytes)
+                + self.entry_size * self._count)
+
+    def internal_ids(self) -> Iterator[int]:
+        """Heap ids of the table and every entry object."""
+        if self._table_obj is not None:
+            yield self._table_obj.obj_id
+        for entry in self._order:
+            yield entry.heap_obj.obj_id
+
+    def peek_keys(self) -> List[Any]:
+        """Keys in insertion order, without charging."""
+        return [entry.key for entry in self._order]
+
+    def peek_pairs(self) -> List[Tuple[Any, Any]]:
+        """(key, value) pairs in insertion order, without charging."""
+        return [(entry.key, entry.value) for entry in self._order]
+
+    @staticmethod
+    def missing() -> Any:
+        """The not-present sentinel returned by :meth:`put`/:meth:`remove`."""
+        return _MISSING

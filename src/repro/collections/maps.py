@@ -1,0 +1,323 @@
+"""Map implementations: HashMap, LinkedHashMap, ArrayMap, LazyMap and
+SizeAdaptingMap.
+
+* ``HashMap`` (default) -- chained hash table; every mapping costs a
+  24-byte entry object plus bucket-table slack.  Section 2.3 shows why
+  this dominates TVLA's footprint even at tiny initial capacities.
+* ``LinkedHashMap`` -- insertion-order variant with heavier entries.
+* ``ArrayMap`` -- a single interleaved ``Object[2*capacity]`` of key/value
+  slots with linear lookup; the replacement that cut TVLA's minimal heap
+  by 53.95%.
+* ``LazyMap`` -- HashMap whose table is allocated on first ``put`` (the
+  FindBugs fix for contexts where most maps stay empty).
+* ``SizeAdaptingMap`` -- ArrayMap until a size threshold, then a one-way
+  conversion to HashMap (the section 2.3 hybrid; threshold ablated in
+  E-Hybrid).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.collections.base import MapImpl, values_equal
+from repro.collections.hashing import HashTableEngine, next_power_of_two
+from repro.memory.heap import HeapObject
+from repro.memory.semantic_maps import FootprintTriple
+
+__all__ = [
+    "HashMapImpl",
+    "LinkedHashMapImpl",
+    "LazyMapImpl",
+    "ArrayMapImpl",
+    "SizeAdaptingMapImpl",
+]
+
+
+class HashMapImpl(MapImpl):
+    """Chained hash map (``java.util.HashMap``)."""
+
+    IMPL_NAME = "HashMap"
+    DEFAULT_CAPACITY = 16
+    LINKED = False
+    LAZY = False
+
+    def __init__(self, vm, initial_capacity: Optional[int] = None,
+                 context_id: Optional[int] = None) -> None:
+        super().__init__(vm, initial_capacity, context_id)
+        self._allocate_anchor(ref_fields=1, int_fields=3)
+        self._table = HashTableEngine(
+            self, is_map=True, linked=self.LINKED,
+            initial_capacity=(initial_capacity if initial_capacity is not None
+                              else self.DEFAULT_CAPACITY),
+            lazy=self.LAZY)
+
+    def put(self, key: Any, value: Any) -> Any:
+        previous = self._table.put(key, value)
+        return None if previous is HashTableEngine.missing() else previous
+
+    def get(self, key: Any) -> Any:
+        entry = self._table.get_entry(key)
+        return entry.value if entry is not None else None
+
+    def remove_key(self, key: Any) -> Any:
+        removed = self._table.remove(key)
+        return None if removed is HashTableEngine.missing() else removed
+
+    def contains_key(self, key: Any) -> bool:
+        return self._table.get_entry(key) is not None
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def iter_items(self) -> Iterator[Tuple[Any, Any]]:
+        for entry in self._table.iter_entries():
+            yield entry.key, entry.value
+
+    @property
+    def size(self) -> int:
+        return self._table.count
+
+    @property
+    def capacity(self) -> int:
+        """Current bucket-table capacity."""
+        return self._table.capacity
+
+    def peek_items(self) -> List[Tuple[Any, Any]]:
+        return self._table.peek_pairs()
+
+    def adt_footprint(self) -> FootprintTriple:
+        n = self._table.count
+        live = self.anchor.size + self._table.live_bytes()
+        used = self.anchor.size + self._table.used_bytes()
+        core = self.vm.model.core_size(2 * n) if n else 0
+        return FootprintTriple(live, used, core)
+
+    def adt_internal_ids(self) -> Iterator[int]:
+        return self._table.internal_ids()
+
+
+class LinkedHashMapImpl(HashMapImpl):
+    """Hash map with insertion-order iteration (heavier entries)."""
+
+    IMPL_NAME = "LinkedHashMap"
+    LINKED = True
+
+
+class LazyMapImpl(HashMapImpl):
+    """HashMap whose bucket table appears only on the first ``put``."""
+
+    IMPL_NAME = "LazyMap"
+    LAZY = True
+
+
+class ArrayMapImpl(MapImpl):
+    """Interleaved key/value array map with linear lookup.
+
+    Stores pairs in one ``Object[2*capacity]``; lookup scans keys at even
+    slots.  No entry objects, no table slack beyond unused pair slots --
+    which is the entire space win over HashMap for small maps.
+    """
+
+    IMPL_NAME = "ArrayMap"
+    DEFAULT_CAPACITY = 4
+
+    def __init__(self, vm, initial_capacity: Optional[int] = None,
+                 context_id: Optional[int] = None) -> None:
+        super().__init__(vm, initial_capacity, context_id)
+        self._keys: List[Any] = []
+        self._values: List[Any] = []
+        self._array: Optional[HeapObject] = None
+        self._capacity = 0  # capacity in *pairs*
+        self._allocate_anchor(ref_fields=1, int_fields=1)
+        self._grow_to(initial_capacity if initial_capacity is not None
+                      else self.DEFAULT_CAPACITY)
+
+    def _grow_to(self, pair_capacity: int) -> None:
+        old = self._array
+        new = self.vm.allocate(
+            "Object[]", self.vm.model.ref_array_size(2 * pair_capacity),
+            context_id=self.context_id)
+        if old is not None:
+            for ref_id, count in old.refs.items():
+                new.refs[ref_id] = count
+            old.clear_refs()
+            self.anchor.remove_ref(old.obj_id)
+            self.charge(self.vm.costs.copy_per_element * 2 * len(self._keys))
+        self.anchor.add_ref(new.obj_id)
+        self._array = new
+        self._capacity = pair_capacity
+
+    def _scan(self, key: Any) -> int:
+        scanned = 0
+        found = -1
+        for i, stored in enumerate(self._keys):
+            scanned += 1
+            if values_equal(stored, key):
+                found = i
+                break
+        self.charge(self.vm.costs.array_scan_per_element * max(scanned, 1))
+        return found
+
+    def put(self, key: Any, value: Any) -> Any:
+        index = self._scan(key)
+        if index >= 0:
+            old = self._values[index]
+            self._array.remove_ref(self.boxes.release(old))
+            self._array.add_ref(self.boxes.ref_for(value))
+            self._values[index] = value
+            self.charge(self.vm.costs.array_access)
+            return old
+        needed = len(self._keys) + 1
+        if needed > self._capacity:
+            self._grow_to(max((self._capacity * 3) // 2 + 1, needed))
+        self._array.add_ref(self.boxes.ref_for(key))
+        self._array.add_ref(self.boxes.ref_for(value))
+        self._keys.append(key)
+        self._values.append(value)
+        self.charge(self.vm.costs.array_access * 2)
+        return None
+
+    def get(self, key: Any) -> Any:
+        index = self._scan(key)
+        if index < 0:
+            return None
+        self.charge(self.vm.costs.array_access)
+        return self._values[index]
+
+    def remove_key(self, key: Any) -> Any:
+        index = self._scan(key)
+        if index < 0:
+            return None
+        old_key = self._keys.pop(index)
+        old_value = self._values.pop(index)
+        self._array.remove_ref(self.boxes.release(old_key))
+        self._array.remove_ref(self.boxes.release(old_value))
+        self.charge(self.vm.costs.copy_per_element
+                    * 2 * (len(self._keys) - index))
+        return old_value
+
+    def contains_key(self, key: Any) -> bool:
+        return self._scan(key) >= 0
+
+    def clear(self) -> None:
+        for key, value in zip(self._keys, self._values):
+            self._array.remove_ref(self.boxes.release(key))
+            self._array.remove_ref(self.boxes.release(value))
+        self.charge(self.vm.costs.array_access * 2 * len(self._keys))
+        self._keys.clear()
+        self._values.clear()
+
+    def iter_items(self) -> Iterator[Tuple[Any, Any]]:
+        for key, value in zip(list(self._keys), list(self._values)):
+            self.charge(self.vm.costs.array_access * 2)
+            yield key, value
+
+    @property
+    def size(self) -> int:
+        return len(self._keys)
+
+    @property
+    def capacity(self) -> int:
+        """Current capacity in key/value pairs."""
+        return self._capacity
+
+    def peek_items(self) -> List[Tuple[Any, Any]]:
+        return list(zip(self._keys, self._values))
+
+    def adt_footprint(self) -> FootprintTriple:
+        model = self.vm.model
+        n = len(self._keys)
+        live = self.anchor.size + (self._array.size if self._array else 0)
+        used = self.anchor.size + (model.align(model.array_header_bytes
+                                               + 2 * n * model.pointer_bytes)
+                                   if self._array else 0)
+        core = model.core_size(2 * n) if n else 0
+        return FootprintTriple(live, used, core)
+
+    def adt_internal_ids(self) -> Iterator[int]:
+        if self._array is not None:
+            yield self._array.obj_id
+
+
+class SizeAdaptingMapImpl(MapImpl):
+    """Hybrid map: ArrayMap until ``conversion_threshold``, then HashMap.
+
+    One-way conversion, matching section 2.3: "whenever the size of the
+    collection increases beyond a certain bound, we can convert the array
+    structure to the original implementation".
+    """
+
+    IMPL_NAME = "SizeAdaptingMap"
+    DEFAULT_CAPACITY = 4
+    DEFAULT_THRESHOLD = 16
+
+    def __init__(self, vm, initial_capacity: Optional[int] = None,
+                 context_id: Optional[int] = None,
+                 conversion_threshold: Optional[int] = None) -> None:
+        super().__init__(vm, initial_capacity, context_id)
+        self.conversion_threshold = (conversion_threshold
+                                     if conversion_threshold is not None
+                                     else self.DEFAULT_THRESHOLD)
+        if self.conversion_threshold < 1:
+            raise ValueError("conversion threshold must be >= 1")
+        self._allocate_anchor(ref_fields=1, int_fields=1)
+        self._inner: MapImpl = ArrayMapImpl(vm, initial_capacity, context_id)
+        self.anchor.add_ref(self._inner.anchor_id)
+        self.conversions = 0
+
+    def _maybe_convert(self) -> None:
+        if (isinstance(self._inner, ArrayMapImpl)
+                and self._inner.size > self.conversion_threshold):
+            hashed = HashMapImpl(
+                self.vm,
+                initial_capacity=next_power_of_two(self._inner.size * 2),
+                context_id=self.context_id)
+            for key, value in list(self._inner.iter_items()):
+                hashed.put(key, value)
+            self._inner.clear()
+            self.anchor.remove_ref(self._inner.anchor_id)
+            self.anchor.add_ref(hashed.anchor_id)
+            self._inner = hashed
+            self.conversions += 1
+
+    def put(self, key: Any, value: Any) -> Any:
+        old = self._inner.put(key, value)
+        self._maybe_convert()
+        return old
+
+    def get(self, key: Any) -> Any:
+        return self._inner.get(key)
+
+    def remove_key(self, key: Any) -> Any:
+        return self._inner.remove_key(key)
+
+    def contains_key(self, key: Any) -> bool:
+        return self._inner.contains_key(key)
+
+    def clear(self) -> None:
+        self._inner.clear()
+
+    def iter_items(self) -> Iterator[Tuple[Any, Any]]:
+        return self._inner.iter_items()
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    @property
+    def is_hashed(self) -> bool:
+        """Whether the one-way conversion has happened."""
+        return isinstance(self._inner, HashMapImpl)
+
+    def peek_items(self) -> List[Tuple[Any, Any]]:
+        return self._inner.peek_items()
+
+    def adt_footprint(self) -> FootprintTriple:
+        inner = self._inner.adt_footprint()
+        return FootprintTriple(self.anchor.size + inner.live,
+                               self.anchor.size + inner.used,
+                               inner.core)
+
+    def adt_internal_ids(self) -> Iterator[int]:
+        yield self._inner.anchor_id
+        yield from self._inner.adt_internal_ids()

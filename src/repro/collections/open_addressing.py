@@ -1,0 +1,222 @@
+"""An open-addressing (Trove-style) hash map -- with the paper's caveat.
+
+Section 4.2: alternative open-source implementations "can be swapped-in as
+additional possible implementations", but "selecting an open-addressing
+implementation of a HashMap (e.g., from the Trove collections) requires
+some guarantees on the quality of the hash function being used to avoid
+disastrous performance implications".
+
+:class:`OpenAddressingMapImpl` makes both halves of that sentence
+measurable:
+
+* **the win** -- no entry objects at all: keys and values live inline in
+  one interleaved table, so the per-mapping overhead of the chained
+  ``HashMap`` (24 bytes each) disappears;
+* **the hazard** -- linear probing clusters catastrophically under a poor
+  hash.  The constructor accepts a ``hash_fn`` override; the test suite
+  demonstrates the "disastrous performance implications" with a constant
+  hash, which a chained table tolerates far better.
+
+Deliberately *not* in the default registry or the built-in rules: per the
+paper, the tool cannot see hash quality, so this swap stays a deliberate
+user decision (``registry.register("OpenHashMap", ...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.collections.base import MapImpl, element_hash, values_equal
+from repro.collections.hashing import next_power_of_two
+from repro.memory.heap import HeapObject
+from repro.memory.semantic_maps import FootprintTriple
+
+__all__ = ["OpenAddressingMapImpl"]
+
+_EMPTY = object()
+_TOMBSTONE = object()
+
+
+class OpenAddressingMapImpl(MapImpl):
+    """Linear-probing hash map with inline key/value storage."""
+
+    IMPL_NAME = "OpenHashMap"
+    DEFAULT_CAPACITY = 16
+    LOAD_FACTOR = 0.5
+
+    def __init__(self, vm, initial_capacity: Optional[int] = None,
+                 context_id: Optional[int] = None,
+                 hash_fn: Optional[Callable[[Any], int]] = None) -> None:
+        super().__init__(vm, initial_capacity, context_id)
+        self._hash = hash_fn or element_hash
+        self._allocate_anchor(ref_fields=1, int_fields=3)
+        self._table_obj: Optional[HeapObject] = None
+        self._keys: List[Any] = []
+        self._values: List[Any] = []
+        self._count = 0
+        self._allocate_table(next_power_of_two(
+            initial_capacity if initial_capacity is not None
+            else self.DEFAULT_CAPACITY))
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    def _allocate_table(self, capacity: int) -> None:
+        vm = self.vm
+        old = self._table_obj
+        # One interleaved Object[2 * capacity]: key slot, value slot.
+        new = vm.allocate("Object[]", vm.model.ref_array_size(2 * capacity),
+                          context_id=self.context_id)
+        if old is not None:
+            for ref_id, count in old.refs.items():
+                new.refs[ref_id] = count
+            old.clear_refs()
+            self.anchor.remove_ref(old.obj_id)
+        self.anchor.add_ref(new.obj_id)
+        self._table_obj = new
+        old_keys, old_values = self._keys, self._values
+        self._keys = [_EMPTY] * capacity
+        self._values = [None] * capacity
+        self._count = 0
+        if old is not None:
+            rehashed = 0
+            for key, value in zip(old_keys, old_values):
+                if key is not _EMPTY and key is not _TOMBSTONE:
+                    self._insert_fresh(key, value)
+                    rehashed += 1
+            self.charge(vm.costs.copy_per_element * 2 * rehashed)
+
+    @property
+    def capacity(self) -> int:
+        """Slots in the probe table."""
+        return len(self._keys)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def _probe(self, key: Any) -> Tuple[int, bool]:
+        """Linear-probe for ``key``.
+
+        Returns ``(index, found)``: the key's slot if present, else the
+        first insertable slot.  Charges one hash computation plus one
+        probe per slot examined -- this is where a degenerate hash
+        becomes "disastrous": every probe walks the cluster.
+        """
+        costs = self.vm.costs
+        self.charge(costs.hash_compute)
+        mask = len(self._keys) - 1
+        index = self._hash(key) & mask
+        first_free = -1
+        probes = 0
+        while True:
+            probes += 1
+            slot = self._keys[index]
+            if slot is _EMPTY:
+                self.charge(costs.hash_probe * probes)
+                return (first_free if first_free >= 0 else index), False
+            if slot is _TOMBSTONE:
+                if first_free < 0:
+                    first_free = index
+            elif values_equal(slot, key):
+                self.charge(costs.hash_probe * probes)
+                return index, True
+            index = (index + 1) & mask
+
+    def _insert_fresh(self, key: Any, value: Any) -> None:
+        """Insert into a table known not to contain ``key``."""
+        mask = len(self._keys) - 1
+        index = self._hash(key) & mask
+        while self._keys[index] is not _EMPTY:
+            index = (index + 1) & mask
+        self._keys[index] = key
+        self._values[index] = value
+        self._table_obj.add_ref(self.boxes.ref_for(key))
+        self._table_obj.add_ref(self.boxes.ref_for(value))
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    # Map operations
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any) -> Any:
+        index, found = self._probe(key)
+        if found:
+            old = self._values[index]
+            self._table_obj.remove_ref(self.boxes.release(old))
+            self._table_obj.add_ref(self.boxes.ref_for(value))
+            self._values[index] = value
+            self.charge(self.vm.costs.array_access)
+            return old
+        if (self._count + 1) > len(self._keys) * self.LOAD_FACTOR:
+            self._allocate_table(len(self._keys) * 2)
+            index, _ = self._probe(key)
+        self._keys[index] = key
+        self._values[index] = value
+        self._table_obj.add_ref(self.boxes.ref_for(key))
+        self._table_obj.add_ref(self.boxes.ref_for(value))
+        self._count += 1
+        self.charge(self.vm.costs.array_access * 2)
+        return None
+
+    def get(self, key: Any) -> Any:
+        index, found = self._probe(key)
+        if not found:
+            return None
+        self.charge(self.vm.costs.array_access)
+        return self._values[index]
+
+    def remove_key(self, key: Any) -> Any:
+        index, found = self._probe(key)
+        if not found:
+            return None
+        old_key, old_value = self._keys[index], self._values[index]
+        self._table_obj.remove_ref(self.boxes.release(old_key))
+        self._table_obj.remove_ref(self.boxes.release(old_value))
+        self._keys[index] = _TOMBSTONE
+        self._values[index] = None
+        self._count -= 1
+        self.charge(self.vm.costs.array_access * 2)
+        return old_value
+
+    def contains_key(self, key: Any) -> bool:
+        _, found = self._probe(key)
+        return found
+
+    def clear(self) -> None:
+        for key, value in zip(self._keys, self._values):
+            if key is not _EMPTY and key is not _TOMBSTONE:
+                self._table_obj.remove_ref(self.boxes.release(key))
+                self._table_obj.remove_ref(self.boxes.release(value))
+        self.charge(self.vm.costs.array_access * len(self._keys))
+        self._keys = [_EMPTY] * len(self._keys)
+        self._values = [None] * len(self._values)
+        self._count = 0
+
+    def iter_items(self) -> Iterator[Tuple[Any, Any]]:
+        for key, value in zip(list(self._keys), list(self._values)):
+            self.charge(self.vm.costs.array_access)
+            if key is not _EMPTY and key is not _TOMBSTONE:
+                yield key, value
+
+    def peek_items(self) -> List[Tuple[Any, Any]]:
+        return [(key, value)
+                for key, value in zip(self._keys, self._values)
+                if key is not _EMPTY and key is not _TOMBSTONE]
+
+    @property
+    def size(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Footprint
+    # ------------------------------------------------------------------
+    def adt_footprint(self) -> FootprintTriple:
+        model = self.vm.model
+        live = self.anchor.size + self._table_obj.size
+        used = self.anchor.size + model.align(
+            model.array_header_bytes
+            + 2 * self._count * model.pointer_bytes)
+        core = model.core_size(2 * self._count) if self._count else 0
+        return FootprintTriple(live, used, core)
+
+    def adt_internal_ids(self) -> Iterator[int]:
+        yield self._table_obj.obj_id

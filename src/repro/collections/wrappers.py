@@ -1,0 +1,505 @@
+"""The Chameleon wrappers: one level of indirection over implementations.
+
+Section 4.1: rather than rewriting type declarations, every collection the
+program allocates is "a small wrapper object" whose single field points at
+the backing implementation, which can therefore be chosen per allocation
+context -- by the programmer, by the offline tool, or online -- and even
+swapped while the collection is live.
+
+The wrapper is also where the *library half* of the semantic profiler
+lives (Fig. 5): at construction it captures the allocation context
+(subject to sampling and the cost model), consults the replacement policy,
+and obtains its ``ObjectContextInfo``; every delegated operation then
+updates the instance's operation counters and maximal size.  When the
+wrapper's heap object dies, the GC death hook folds the record into the
+context's aggregate.
+
+Python-protocol conveniences (``__len__``, ``snapshot``) are *unrecorded*
+accessors for tests and debugging; the Java-like methods (``size()``,
+``get``...) are the simulated program operations that charge ticks and
+update profiles.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Dict, Iterable, Iterator, List,
+                    Optional, Tuple, Union)
+
+from repro.collections.base import (CollectionImpl, CollectionKind, ListImpl,
+                                    MapImpl, SetImpl)
+from repro.collections.iterators import CollectionIterator, make_iterator
+from repro.collections.registry import ImplementationRegistry, default_registry
+from repro.memory.heap import HeapObject
+from repro.memory.semantic_maps import FootprintTriple
+from repro.profiler.counters import Op
+from repro.runtime.context import ContextKey
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.runtime.vm import RuntimeEnvironment
+
+__all__ = ["ChameleonCollection", "ChameleonList", "ChameleonSet",
+           "ChameleonMap"]
+
+
+class ChameleonCollection:
+    """Common wrapper machinery for the three ADT kinds."""
+
+    KIND: CollectionKind
+    DEFAULT_SRC_TYPE: str
+
+    def __init__(self, vm: "RuntimeEnvironment", *,
+                 src_type: Optional[str] = None,
+                 initial_capacity: Optional[int] = None,
+                 context: Optional[ContextKey] = None,
+                 impl: Optional[str] = None,
+                 copy_from: Optional["ChameleonCollection"] = None,
+                 registry: Optional[ImplementationRegistry] = None,
+                 use_shared_empty_iterator: bool = False,
+                 impl_kwargs: Optional[Dict[str, Any]] = None) -> None:
+        self.vm = vm
+        self.registry = registry or default_registry()
+        self.src_type = src_type or self.DEFAULT_SRC_TYPE
+        self.use_shared_empty_iterator = use_shared_empty_iterator
+        self._explicit_capacity = initial_capacity
+
+        profile = (vm.profiling_enabled
+                   and vm.profiler.should_sample(self.src_type))
+        if vm.profiling_enabled and not profile:
+            vm.profiler.on_unsampled_allocation(self.src_type)
+
+        self.context_id = self._resolve_context(context, profile)
+        choice = vm.choose_implementation(self.src_type, self.context_id)
+
+        impl_name = impl
+        capacity = initial_capacity
+        merged_kwargs = dict(impl_kwargs or {})
+        if choice is not None:
+            if impl_name is None and choice.impl_name is not None:
+                impl_name = choice.impl_name
+            if choice.initial_capacity is not None:
+                capacity = choice.initial_capacity
+            if choice.impl_kwargs:
+                merged_kwargs.update(choice.impl_kwargs)
+        if impl_name is None:
+            impl_name = self.registry.default_impl_for(self.src_type)
+
+        self.impl: CollectionImpl = self.registry.create(
+            vm, impl_name, kind=self.KIND, initial_capacity=capacity,
+            context_id=self.context_id, **merged_kwargs)
+
+        self._oci = None
+        on_death = None
+        if profile:
+            self._oci = vm.profiler.on_allocation(
+                self.context_id, self.src_type, impl_name,
+                initial_capacity=initial_capacity)
+            oci = self._oci
+            profiler = vm.profiler
+            on_death = lambda heap_obj: profiler.on_death(oci)
+
+        wrapper_size = vm.model.object_size(ref_fields=1)
+        self.heap_obj: HeapObject = vm.allocate(
+            self.src_type, wrapper_size, payload=self,
+            context_id=self.context_id, on_death=on_death)
+        self.heap_obj.add_ref(self.impl.anchor_id)
+
+        if copy_from is not None:
+            self._fill_from(copy_from)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _resolve_context(self, explicit: Optional[ContextKey],
+                         profile: bool) -> Optional[int]:
+        """Capture/intern the allocation context when anything needs it.
+
+        Instrumented capture (profiling or online policy) is charged to
+        the clock; offline-policy lookup models a source edit and is free.
+        """
+        vm = self.vm
+        if explicit is not None:
+            return vm.capture_allocation_context(explicit=explicit)
+        online = (vm.policy is not None
+                  and vm.policy.requires_runtime_capture)
+        if profile or vm.policy is not None:
+            return vm.capture_allocation_context(
+                charged=profile or online)
+        return None
+
+    def _fill_from(self, source: "ChameleonCollection") -> None:
+        """Copy-constructor fill: counts as ``copied`` on the source and
+        as *no* operations on the new collection (section 3.2.2)."""
+        source.record_copied()
+        self._bulk_absorb(source)
+        self._after_mutation()
+
+    def _bulk_absorb(self, source: "ChameleonCollection") -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Profiling plumbing
+    # ------------------------------------------------------------------
+    def _record(self, op: Op) -> None:
+        self.vm.charge(self.vm.costs.wrapper_delegation)
+        if self._oci is not None:
+            if self.vm.costs.profile_op:
+                self.vm.charge(self.vm.costs.profile_op)
+            self._oci.record_op(op)
+
+    def _after_mutation(self) -> None:
+        if self._oci is not None:
+            self._oci.record_size(self.impl.size)
+
+    def record_copied(self) -> None:
+        """This collection was the source of an addAll/putAll/copy-ctor."""
+        if self._oci is not None:
+            self._oci.record_copied()
+
+    @property
+    def object_info(self):
+        """The instance's profiling record, if it was sampled."""
+        return self._oci
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+    def pin(self) -> "ChameleonCollection":
+        """Register this collection as a GC root; returns self."""
+        self.vm.add_root(self.heap_obj)
+        return self
+
+    def unpin(self) -> None:
+        """Drop the root registration (the collection may now die)."""
+        self.vm.remove_root(self.heap_obj)
+
+    def swap_to(self, impl_name: str,
+                initial_capacity: Optional[int] = None,
+                impl_kwargs: Optional[Dict[str, Any]] = None) -> None:
+        """Swap the backing implementation while live.
+
+        Elements are migrated through charged operations (the real cost of
+        an online conversion); the old implementation and its internals
+        become garbage.
+        """
+        capacity = initial_capacity
+        if capacity is None:
+            capacity = max(self.impl.size, 1)
+        new_impl = self.registry.create(
+            self.vm, impl_name, kind=self.KIND, initial_capacity=capacity,
+            context_id=self.context_id, **(impl_kwargs or {}))
+        old_impl = self.impl
+        self.impl = new_impl
+        self._migrate(old_impl, new_impl)
+        self.heap_obj.remove_ref(old_impl.anchor_id)
+        self.heap_obj.add_ref(new_impl.anchor_id)
+        if self._oci is not None:
+            self._oci.record_swap()
+            self._oci.impl_name = impl_name
+
+    def _migrate(self, old_impl: CollectionImpl,
+                 new_impl: CollectionImpl) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared recorded operations
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Recorded ``size()`` operation."""
+        self._record(Op.SIZE)
+        return self.impl.size
+
+    def is_empty(self) -> bool:
+        """Recorded ``isEmpty()`` operation."""
+        self._record(Op.IS_EMPTY)
+        return self.impl.is_empty
+
+    def clear(self) -> None:
+        """Recorded ``clear()`` operation."""
+        self._record(Op.CLEAR)
+        self.impl.clear()
+        self._after_mutation()
+
+    def iterate(self) -> CollectionIterator:
+        """Recorded iterator creation over the collection's values."""
+        empty = self.impl.is_empty
+        self._record(Op.ITERATE)
+        if self._oci is not None and empty:
+            self._oci.record_op(Op.ITER_EMPTY)
+        return make_iterator(self.vm, self.impl.iter_values(), empty=empty,
+                             use_shared_empty=self.use_shared_empty_iterator,
+                             context_id=self.context_id)
+
+    # ------------------------------------------------------------------
+    # Unrecorded conveniences (tests/debugging only)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.impl.size
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.iterate()
+
+    def snapshot(self) -> List[Any]:
+        """Current values without charging ticks or recording ops."""
+        return self.impl.peek_values()
+
+    def footprint(self) -> FootprintTriple:
+        """Current ADT footprint including the wrapper object."""
+        return self.adt_footprint()
+
+    # ------------------------------------------------------------------
+    # AdtFootprint protocol (the wrapper anchors the whole ADT)
+    # ------------------------------------------------------------------
+    def adt_footprint(self) -> FootprintTriple:
+        inner = self.impl.adt_footprint()
+        return FootprintTriple(inner.live + self.heap_obj.size,
+                               inner.used + self.heap_obj.size,
+                               inner.core)
+
+    def adt_internal_ids(self) -> Iterator[int]:
+        yield self.impl.anchor_id
+        yield from self.impl.adt_internal_ids()
+
+    def adt_element_count(self) -> int:
+        return self.impl.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.src_type}->"
+                f"{self.impl.IMPL_NAME} size={self.impl.size}>")
+
+
+class ChameleonList(ChameleonCollection):
+    """The wrapped List ADT."""
+
+    KIND = CollectionKind.LIST
+    DEFAULT_SRC_TYPE = "ArrayList"
+
+    impl: ListImpl
+
+    def add(self, value: Any) -> None:
+        """Append ``value`` (``add(Object)``)."""
+        self._record(Op.ADD)
+        self.impl.add(value)
+        self._after_mutation()
+
+    def add_at(self, index: int, value: Any) -> None:
+        """Insert at position (``add(int, Object)``)."""
+        self._record(Op.ADD_INDEX)
+        self.impl.add_at(index, value)
+        self._after_mutation()
+
+    def add_all(self, source: Union["ChameleonCollection", Iterable[Any]],
+                ) -> None:
+        """Append every element of ``source`` (``addAll(Collection)``).
+
+        Records one ``addAll`` here and one ``copied`` on a wrapped
+        source -- both sides of the interaction, per section 3.2.2.
+        """
+        self._record(Op.ADD_ALL)
+        for value in self._source_values(source):
+            self.impl.add(value)
+        self._after_mutation()
+
+    def add_all_at(self, index: int,
+                   source: Union["ChameleonCollection", Iterable[Any]],
+                   ) -> None:
+        """Insert every element of ``source`` at ``index``."""
+        self._record(Op.ADD_ALL_INDEX)
+        for offset, value in enumerate(self._source_values(source)):
+            self.impl.add_at(index + offset, value)
+        self._after_mutation()
+
+    def _source_values(self, source) -> Iterator[Any]:
+        if isinstance(source, ChameleonCollection):
+            source.record_copied()
+            return source.impl.iter_values()
+        return iter(source)
+
+    def get(self, index: int) -> Any:
+        """Positional read (``get(int)``)."""
+        self._record(Op.GET_INDEX)
+        return self.impl.get(index)
+
+    def set_at(self, index: int, value: Any) -> Any:
+        """Positional replace (``set(int, Object)``)."""
+        self._record(Op.SET_INDEX)
+        old = self.impl.set_at(index, value)
+        self._after_mutation()
+        return old
+
+    def remove_at(self, index: int) -> Any:
+        """Positional removal (``remove(int)``)."""
+        self._record(Op.REMOVE_INDEX)
+        old = self.impl.remove_at(index)
+        self._after_mutation()
+        return old
+
+    def remove_first(self) -> Any:
+        """Head removal (``removeFirst()``)."""
+        self._record(Op.REMOVE_FIRST)
+        old = self.impl.remove_first()
+        self._after_mutation()
+        return old
+
+    def remove_value(self, value: Any) -> bool:
+        """First-occurrence removal (``remove(Object)``)."""
+        self._record(Op.REMOVE_OBJECT)
+        removed = self.impl.remove_value(value)
+        self._after_mutation()
+        return removed
+
+    def contains(self, value: Any) -> bool:
+        """Membership test (``contains(Object)``)."""
+        self._record(Op.CONTAINS)
+        return self.impl.contains(value)
+
+    def index_of(self, value: Any) -> int:
+        """First-occurrence search (``indexOf(Object)``)."""
+        self._record(Op.INDEX_OF)
+        return self.impl.index_of(value)
+
+    def to_list(self) -> List[Any]:
+        """Recorded ``toArray()``: a charged copy of the contents."""
+        self._record(Op.TO_ARRAY)
+        return list(self.impl.iter_values())
+
+    def _bulk_absorb(self, source: ChameleonCollection) -> None:
+        for value in source.impl.iter_values():
+            self.impl.add(value)
+
+    def _migrate(self, old_impl: CollectionImpl,
+                 new_impl: CollectionImpl) -> None:
+        for value in old_impl.iter_values():
+            new_impl.add(value)
+
+
+class ChameleonSet(ChameleonCollection):
+    """The wrapped Set ADT."""
+
+    KIND = CollectionKind.SET
+    DEFAULT_SRC_TYPE = "HashSet"
+
+    impl: SetImpl
+
+    def add(self, value: Any) -> bool:
+        """Insert ``value``; False if already present."""
+        self._record(Op.ADD)
+        added = self.impl.add(value)
+        self._after_mutation()
+        return added
+
+    def add_all(self, source: Union["ChameleonCollection", Iterable[Any]],
+                ) -> None:
+        """Insert every element of ``source``."""
+        self._record(Op.ADD_ALL)
+        if isinstance(source, ChameleonCollection):
+            source.record_copied()
+            values = source.impl.iter_values()
+        else:
+            values = iter(source)
+        for value in values:
+            self.impl.add(value)
+        self._after_mutation()
+
+    def remove_value(self, value: Any) -> bool:
+        """Remove ``value``; True if it was present."""
+        self._record(Op.REMOVE_OBJECT)
+        removed = self.impl.remove_value(value)
+        self._after_mutation()
+        return removed
+
+    def contains(self, value: Any) -> bool:
+        """Membership test."""
+        self._record(Op.CONTAINS)
+        return self.impl.contains(value)
+
+    def _bulk_absorb(self, source: ChameleonCollection) -> None:
+        for value in source.impl.iter_values():
+            self.impl.add(value)
+
+    def _migrate(self, old_impl: CollectionImpl,
+                 new_impl: CollectionImpl) -> None:
+        for value in old_impl.iter_values():
+            new_impl.add(value)
+
+
+class ChameleonMap(ChameleonCollection):
+    """The wrapped Map ADT."""
+
+    KIND = CollectionKind.MAP
+    DEFAULT_SRC_TYPE = "HashMap"
+
+    impl: MapImpl
+
+    def put(self, key: Any, value: Any) -> Any:
+        """Associate ``key`` with ``value``; returns the previous value."""
+        self._record(Op.PUT)
+        old = self.impl.put(key, value)
+        self._after_mutation()
+        return old
+
+    def get(self, key: Any) -> Any:
+        """Lookup (``get(Object)``)."""
+        self._record(Op.GET_OBJECT)
+        return self.impl.get(key)
+
+    def remove_key(self, key: Any) -> Any:
+        """Remove ``key``'s mapping; returns the removed value."""
+        self._record(Op.REMOVE_KEY)
+        old = self.impl.remove_key(key)
+        self._after_mutation()
+        return old
+
+    def contains_key(self, key: Any) -> bool:
+        """Key-membership test."""
+        self._record(Op.CONTAINS_KEY)
+        return self.impl.contains_key(key)
+
+    def contains_value(self, value: Any) -> bool:
+        """Value-membership test (linear)."""
+        self._record(Op.CONTAINS_VALUE)
+        return self.impl.contains_value(value)
+
+    def put_all(self, source: Union["ChameleonMap", Dict[Any, Any]]) -> None:
+        """Copy every mapping of ``source`` in (``putAll(Map)``)."""
+        self._record(Op.PUT_ALL)
+        if isinstance(source, ChameleonMap):
+            source.record_copied()
+            items = source.impl.iter_items()
+        else:
+            items = iter(source.items())
+        for key, value in items:
+            self.impl.put(key, value)
+        self._after_mutation()
+
+    def iterate_items(self) -> CollectionIterator:
+        """Recorded iterator over ``(key, value)`` pairs."""
+        empty = self.impl.is_empty
+        self._record(Op.ITERATE)
+        if self._oci is not None and empty:
+            self._oci.record_op(Op.ITER_EMPTY)
+        return make_iterator(self.vm, self.impl.iter_items(), empty=empty,
+                             use_shared_empty=self.use_shared_empty_iterator,
+                             context_id=self.context_id)
+
+    def iterate_keys(self) -> CollectionIterator:
+        """Recorded iterator over keys."""
+        empty = self.impl.is_empty
+        self._record(Op.ITERATE)
+        if self._oci is not None and empty:
+            self._oci.record_op(Op.ITER_EMPTY)
+        return make_iterator(self.vm, self.impl.iter_keys(), empty=empty,
+                             use_shared_empty=self.use_shared_empty_iterator,
+                             context_id=self.context_id)
+
+    def snapshot_items(self) -> List[Tuple[Any, Any]]:
+        """Current mappings without charging or recording."""
+        return self.impl.peek_items()
+
+    def _bulk_absorb(self, source: ChameleonCollection) -> None:
+        for key, value in source.impl.iter_items():
+            self.impl.put(key, value)
+
+    def _migrate(self, old_impl: CollectionImpl,
+                 new_impl: CollectionImpl) -> None:
+        for key, value in old_impl.iter_items():
+            new_impl.put(key, value)

@@ -1,0 +1,14 @@
+"""The Chameleon tool: offline facade, online mode, policy application."""
+
+from repro.core.apply import ReplacementMap
+from repro.core.chameleon import (Chameleon, IterativeResult,
+                                  OptimizationResult, ProfilingSession,
+                                  RunMetrics, optimize_iteratively)
+from repro.core.config import ToolConfig
+from repro.core.online import OnlineChameleon, OnlinePolicy, OnlineRunResult
+
+__all__ = [
+    "ReplacementMap", "Chameleon", "IterativeResult", "OptimizationResult",
+    "ProfilingSession", "RunMetrics", "optimize_iteratively", "ToolConfig",
+    "OnlineChameleon", "OnlinePolicy", "OnlineRunResult",
+]

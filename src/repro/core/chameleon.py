@@ -1,0 +1,292 @@
+"""The Chameleon tool facade: profile -> suggest -> apply -> re-run.
+
+This is the automation of the paper's methodology (section 5.2):
+
+1. Run the application under semantic profiling (:meth:`Chameleon.profile`).
+2. Evaluate the selection rules over the per-context statistics; rank the
+   suggestions by saving potential.
+3. Build a :class:`~repro.core.apply.ReplacementMap` from the top
+   suggestions and re-run the *uninstrumented* application with it
+   (:meth:`Chameleon.plain_run`), comparing ticks and peak footprint.
+
+:meth:`Chameleon.optimize` chains all three and returns a before/after
+comparison, which is what the Fig. 6 / Fig. 7 benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.apply import ReplacementMap
+from repro.core.config import ToolConfig
+from repro.memory.heap import OutOfMemoryError
+from repro.profiler.profiler import SemanticProfiler
+from repro.profiler.report import ProfileReport, build_report
+from repro.rules.builtin import RuleSpec
+from repro.rules.engine import RuleEngine
+from repro.rules.suggestions import Suggestion
+from repro.runtime.sampling import AlwaysSample, RateSampler
+from repro.runtime.vm import ReplacementPolicyProtocol, RuntimeEnvironment
+from repro.workloads.base import Workload
+
+__all__ = ["RunMetrics", "ProfilingSession", "OptimizationResult",
+           "Chameleon", "IterativeResult", "optimize_iteratively"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Outcome measures of one workload run."""
+
+    ticks: int
+    peak_live_bytes: int
+    gc_cycles: int
+    total_allocated_bytes: int
+    total_allocated_objects: int
+    completed: bool
+
+    @classmethod
+    def from_vm(cls, vm: RuntimeEnvironment,
+                completed: bool = True) -> "RunMetrics":
+        """Snapshot the metrics of a finished (or OOM-ed) run."""
+        return cls(ticks=vm.now,
+                   peak_live_bytes=vm.timeline.max_live_data,
+                   gc_cycles=vm.timeline.cycle_count,
+                   total_allocated_bytes=vm.heap.total_allocated_bytes,
+                   total_allocated_objects=vm.heap.total_allocated_objects,
+                   completed=completed)
+
+
+@dataclass
+class ProfilingSession:
+    """Everything produced by one profiled run."""
+
+    vm: RuntimeEnvironment
+    report: ProfileReport
+    suggestions: List[Suggestion]
+    metrics: RunMetrics
+
+    def render(self, top: int = 4) -> str:
+        """Tool output: top contexts plus ranked suggestions."""
+        parts = [self.report.render_top_contexts(top),
+                 "",
+                 RuleEngine.render(self.suggestions, limit=top)]
+        return "\n".join(parts)
+
+
+@dataclass
+class OptimizationResult:
+    """Before/after comparison produced by :meth:`Chameleon.optimize`."""
+
+    session: ProfilingSession
+    policy: ReplacementMap
+    baseline: RunMetrics
+    optimized: RunMetrics
+
+    @property
+    def peak_reduction(self) -> float:
+        """Fractional reduction of peak live footprint (0.2 = 20%)."""
+        if self.baseline.peak_live_bytes == 0:
+            return 0.0
+        return 1.0 - (self.optimized.peak_live_bytes
+                      / self.baseline.peak_live_bytes)
+
+    @property
+    def time_reduction(self) -> float:
+        """Fractional reduction of virtual running time."""
+        if self.baseline.ticks == 0:
+            return 0.0
+        return 1.0 - self.optimized.ticks / self.baseline.ticks
+
+    @property
+    def speedup(self) -> float:
+        """Baseline ticks / optimized ticks."""
+        if self.optimized.ticks == 0:
+            return 1.0
+        return self.baseline.ticks / self.optimized.ticks
+
+    def render(self) -> str:
+        """One-paragraph summary of the optimisation outcome."""
+        return (f"applied {len(self.policy)} context fixes: peak footprint "
+                f"{self.baseline.peak_live_bytes} -> "
+                f"{self.optimized.peak_live_bytes} bytes "
+                f"({100 * self.peak_reduction:.1f}% saved), time "
+                f"{self.baseline.ticks} -> {self.optimized.ticks} ticks "
+                f"({self.speedup:.2f}x)")
+
+
+class Chameleon:
+    """Offline Chameleon: semantic profiling plus the rule engine."""
+
+    def __init__(self, config: Optional[ToolConfig] = None,
+                 rules: Optional[List[RuleSpec]] = None) -> None:
+        self.config = config or ToolConfig()
+        self.engine = RuleEngine(
+            rules=rules,
+            constants=self.config.constants,
+            stability=self.config.stability,
+            min_potential_bytes=self.config.min_potential_bytes)
+
+    # ------------------------------------------------------------------
+    # VM construction
+    # ------------------------------------------------------------------
+    def make_vm(self, profiler: Optional[SemanticProfiler] = None,
+                policy: Optional[ReplacementPolicyProtocol] = None,
+                heap_limit: Optional[int] = None) -> RuntimeEnvironment:
+        """A runtime configured per the tool settings."""
+        return RuntimeEnvironment(
+            model=self.config.memory_model,
+            cost_model=self.config.cost_model,
+            heap_limit=heap_limit,
+            gc_threshold_bytes=self.config.gc_threshold_bytes,
+            context_depth=self.config.context_depth,
+            profiler=profiler,
+            policy=policy)
+
+    def _make_profiler(self) -> SemanticProfiler:
+        if self.config.sampling_rate <= 1:
+            sampling = AlwaysSample()
+        else:
+            sampling = RateSampler(self.config.sampling_rate,
+                                   warmup=self.config.sampling_warmup)
+        return SemanticProfiler(sampling)
+
+    # ------------------------------------------------------------------
+    # Phase 1+2: semantic profiling and rule evaluation
+    # ------------------------------------------------------------------
+    def profile(self, workload: Workload,
+                heap_limit: Optional[int] = None,
+                policy: Optional[ReplacementMap] = None) -> ProfilingSession:
+        """Run ``workload`` under profiling and evaluate the rules.
+
+        ``policy`` profiles the *modified* program -- the paper's step 4,
+        "repeat steps 1-3 on the modified version".
+        """
+        vm = self.make_vm(profiler=self._make_profiler(),
+                          heap_limit=heap_limit)
+        if policy is not None:
+            vm.policy = policy.bind(vm)
+        workload.run(vm)
+        vm.finish()
+        report = build_report(vm.profiler, vm.timeline, vm.contexts)
+        suggestions = self.engine.evaluate(report)
+        return ProfilingSession(vm=vm, report=report,
+                                suggestions=suggestions,
+                                metrics=RunMetrics.from_vm(vm))
+
+    # ------------------------------------------------------------------
+    # Phase 3: application and plain runs
+    # ------------------------------------------------------------------
+    def build_policy(self, suggestions: List[Suggestion],
+                     top: Optional[int] = None) -> ReplacementMap:
+        """Turn ranked suggestions into an offline replacement policy."""
+        if top is None:
+            top = self.config.top_contexts_to_apply
+        return ReplacementMap.from_suggestions(suggestions, top=top)
+
+    def plain_run(self, workload: Workload,
+                  policy: Optional[ReplacementMap] = None,
+                  heap_limit: Optional[int] = None,
+                  ) -> Tuple[RuntimeEnvironment, RunMetrics]:
+        """Run ``workload`` without instrumentation (the Fig. 7 timing
+        configuration), optionally under an applied policy.
+
+        Raises :class:`OutOfMemoryError` if ``heap_limit`` is too small;
+        the minimal-heap search relies on that.
+        """
+        vm = self.make_vm(heap_limit=heap_limit)
+        if policy is not None:
+            vm.policy = policy.bind(vm)
+        workload.run(vm)
+        vm.finish()
+        return vm, RunMetrics.from_vm(vm)
+
+    def optimize(self, workload: Workload,
+                 top: Optional[int] = None) -> OptimizationResult:
+        """Full pipeline: profile, suggest, apply, measure before/after."""
+        session = self.profile(workload)
+        policy = self.build_policy(session.suggestions, top=top)
+        _, baseline = self.plain_run(workload)
+        _, optimized = self.plain_run(workload, policy=policy)
+        return OptimizationResult(session=session, policy=policy,
+                                  baseline=baseline, optimized=optimized)
+
+
+@dataclass
+class IterativeResult:
+    """Outcome of the paper's iterative methodology (section 5.2 step 4):
+    profile, apply the top suggestions, and repeat on the modified
+    program until nothing changes."""
+
+    sessions: List[ProfilingSession]
+    policy: ReplacementMap
+    baseline: RunMetrics
+    optimized: RunMetrics
+    converged: bool
+
+    @property
+    def rounds(self) -> int:
+        """Profiling rounds performed."""
+        return len(self.sessions)
+
+    @property
+    def peak_reduction(self) -> float:
+        """Fractional reduction of peak live footprint."""
+        if self.baseline.peak_live_bytes == 0:
+            return 0.0
+        return 1.0 - (self.optimized.peak_live_bytes
+                      / self.baseline.peak_live_bytes)
+
+    def render(self) -> str:
+        """One-paragraph summary of the iteration."""
+        status = "converged" if self.converged else "round limit reached"
+        return (f"{self.rounds} rounds ({status}): "
+                f"{len(self.policy)} context fixes, peak "
+                f"{self.baseline.peak_live_bytes} -> "
+                f"{self.optimized.peak_live_bytes} bytes "
+                f"({100 * self.peak_reduction:.1f}% saved)")
+
+
+def optimize_iteratively(tool: "Chameleon", workload: Workload,
+                         top_per_round: Optional[int] = None,
+                         max_rounds: int = 4) -> IterativeResult:
+    """Drive the section 5.2 loop: "Modify the top allocation contexts
+    using the tool suggestions ... Repeat steps 1-3 on the modified
+    version."
+
+    Each round profiles the program *with the accumulated fixes applied*,
+    folds the new round's top suggestions into the policy (capacity advice
+    combines with earlier replacements), and stops once a round changes
+    nothing.
+
+    Args:
+        tool: The configured offline tool.
+        workload: The program under optimisation.
+        top_per_round: How many ranked suggestions each round applies
+            (the paper modified only the top handful per pass); ``None``
+            applies all.
+        max_rounds: Safety bound on profiling rounds.
+    """
+    policy = ReplacementMap()
+    sessions: List[ProfilingSession] = []
+    converged = False
+    for _ in range(max_rounds):
+        session = tool.profile(workload, policy=policy)
+        sessions.append(session)
+        changed = policy.merge_suggestions(session.suggestions,
+                                           top=top_per_round)
+        if changed == 0:
+            converged = True
+            break
+    _, baseline = tool.plain_run(workload)
+    _, optimized = tool.plain_run(workload, policy=policy)
+    return IterativeResult(sessions=sessions, policy=policy,
+                           baseline=baseline, optimized=optimized,
+                           converged=converged)
+
+
+# Attach as a method so the facade mirrors the paper's workflow verbatim.
+Chameleon.optimize_iteratively = (  # type: ignore[attr-defined]
+    lambda self, workload, top_per_round=None, max_rounds=4:
+    optimize_iteratively(self, workload, top_per_round=top_per_round,
+                         max_rounds=max_rounds))

@@ -1,0 +1,19 @@
+"""Simulated heap, collection-aware GC, and semantic ADT maps."""
+
+from repro.memory.gc import GcCostParameters, MarkSweepGC
+from repro.memory.generational import (GenerationalCostParameters,
+                                       GenerationalGC)
+from repro.memory.heap import HeapObject, OutOfMemoryError, SimHeap
+from repro.memory.layout import MemoryModel
+from repro.memory.semantic_maps import (AdtFootprint, FootprintTriple,
+                                        SemanticMap, SemanticMapRegistry)
+from repro.memory.stats import (ContextCycleStats, ContextHeapAggregate,
+                                GcCycleStats, HeapAggregate, HeapTimeline)
+
+__all__ = [
+    "GcCostParameters", "MarkSweepGC", "GenerationalCostParameters",
+    "GenerationalGC", "HeapObject", "OutOfMemoryError",
+    "SimHeap", "MemoryModel", "AdtFootprint", "FootprintTriple",
+    "SemanticMap", "SemanticMapRegistry", "ContextCycleStats",
+    "ContextHeapAggregate", "GcCycleStats", "HeapAggregate", "HeapTimeline",
+]

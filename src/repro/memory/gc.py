@@ -1,0 +1,174 @@
+"""Collection-aware mark-sweep garbage collector.
+
+This reproduces the instrumented "base parallel mark and sweep" collector
+of section 4.3.2.  The observable behaviour is identical to the paper's:
+
+* **Mark** -- compute the transitive closure from the roots.
+* **Account** -- using the semantic ADT maps, attribute each reachable
+  collection's live/used/core bytes to its type and allocation context
+  (Table 3).  Internal objects (backing arrays, entries, boxes) are
+  attributed to the owning ADT, never double counted.
+* **Sweep** -- free every unmarked object, running death hooks so the
+  profiler can fold per-instance usage data into its allocation context
+  (the paper's selective finalizers).
+
+Parallelism in the original collector only affects wall-clock time, which
+the simulation models with a configurable tick charge per marked/swept
+object instead of actual threads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set
+
+from repro.memory.heap import HeapObject, SimHeap
+from repro.memory.semantic_maps import SemanticMapRegistry
+from repro.memory.stats import GcCycleStats, HeapTimeline
+
+__all__ = ["GcCostParameters", "MarkSweepGC"]
+
+
+@dataclass(frozen=True)
+class GcCostParameters:
+    """Tick charges for the collector's work, per object touched.
+
+    The defaults make GC cost proportional to live data (marking) plus
+    reclaimed garbage (sweeping), which is what lets the PMD experiment
+    reproduce its "fewer GCs => 8.33% faster" result.
+    """
+
+    base_ticks: int = 2_000
+    mark_ticks_per_object: int = 2
+    sweep_ticks_per_object: int = 1
+    account_ticks_per_collection: int = 1
+
+
+class MarkSweepGC:
+    """Mark-sweep collector over a :class:`SimHeap` with semantic maps."""
+
+    def __init__(self, heap: SimHeap,
+                 semantic_maps: Optional[SemanticMapRegistry] = None,
+                 charge: Optional[Callable[[int], None]] = None,
+                 costs: Optional[GcCostParameters] = None) -> None:
+        self.heap = heap
+        self.semantic_maps = semantic_maps or SemanticMapRegistry()
+        self.timeline = HeapTimeline()
+        self.costs = costs or GcCostParameters()
+        self._charge = charge or (lambda ticks: None)
+        self.cycle_count = 0
+
+    # ------------------------------------------------------------------
+    # The collection cycle
+    # ------------------------------------------------------------------
+    def collect(self, tick: int = 0, major: bool = True) -> GcCycleStats:
+        """Run one full GC cycle and record its statistics.
+
+        Args:
+            tick: Current virtual time, stamped into the cycle record so
+                timelines can be plotted against time as well as cycle
+                index.
+            major: Accepted for collector polymorphism; the base
+                mark-sweep collector always runs a full cycle.
+
+        Returns:
+            The cycle's :class:`GcCycleStats` (also appended to
+            :attr:`timeline`).
+        """
+        self.cycle_count += 1
+        stats = GcCycleStats(cycle=self.cycle_count, tick=tick)
+
+        marked = self._mark()
+        self._account(marked, stats)
+        self._sweep(marked, stats)
+
+        self._charge(self.costs.base_ticks
+                     + self.costs.mark_ticks_per_object * len(marked)
+                     + self.costs.sweep_ticks_per_object * stats.freed_objects
+                     + self.costs.account_ticks_per_collection
+                     * stats.collection_objects)
+        self.timeline.record(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _mark(self) -> Set[int]:
+        """Transitive closure from the heap's root set."""
+        marked: Set[int] = set()
+        worklist = deque(
+            root_id for root_id in self.heap.root_ids()
+            if self.heap.contains(root_id)
+        )
+        marked.update(worklist)
+        while worklist:
+            obj = self.heap.get(worklist.popleft())
+            for ref_id in obj.refs.keys():
+                if ref_id not in marked and self.heap.contains(ref_id):
+                    marked.add(ref_id)
+                    worklist.append(ref_id)
+        return marked
+
+    def _account(self, marked: Set[int], stats: GcCycleStats) -> None:
+        """Compute Table 3 statistics over the marked set.
+
+        Runs in two passes so the result is independent of visit order:
+        first find every ADT anchor and the internal objects it claims,
+        then attribute bytes.  An anchor that is itself claimed by another
+        anchor (e.g. a backing implementation owned by a wrapper) is folded
+        into its owner rather than reported separately.
+        """
+        anchors: List[HeapObject] = []
+        claimed: Set[int] = set()
+        for obj_id in marked:
+            obj = self.heap.get(obj_id)
+            stats.live_data += obj.size
+            semantic_map = self.semantic_maps.lookup(obj)
+            if semantic_map is not None:
+                anchors.append(obj)
+
+        for anchor in anchors:
+            semantic_map = self.semantic_maps.lookup(anchor)
+            for internal_id in semantic_map.internal_ids(anchor):
+                claimed.add(internal_id)
+
+        anchor_ids = {a.obj_id for a in anchors}
+        for anchor in anchors:
+            if anchor.obj_id in claimed:
+                continue  # owned by an enclosing ADT (wrapper)
+            semantic_map = self.semantic_maps.lookup(anchor)
+            triple = semantic_map.footprint(anchor)
+            stats.collection_live += triple.live
+            stats.collection_used += triple.used
+            stats.collection_core += triple.core
+            stats.collection_objects += 1
+            stats.add_type_bytes(anchor.type_name, triple.live)
+            context_id = semantic_map.context_id(anchor)
+            if context_id is not None:
+                stats.context(context_id).add(
+                    triple.live, triple.used, triple.core)
+
+        for obj_id in marked:
+            if obj_id in claimed or obj_id in anchor_ids:
+                continue
+            obj = self.heap.get(obj_id)
+            stats.add_type_bytes(obj.type_name, obj.size)
+
+    def _sweep(self, marked: Set[int], stats: GcCycleStats) -> None:
+        """Free unmarked objects, invoking death hooks first."""
+        dead = [obj for obj in self.heap.objects() if obj.obj_id not in marked]
+        for obj in dead:
+            if obj.on_death is not None:
+                obj.on_death(obj)
+            self.heap.free(obj)
+            stats.freed_bytes += obj.size
+            stats.freed_objects += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def live_bytes_estimate(self) -> int:
+        """Exact live bytes right now (runs a mark without sweeping)."""
+        marked = self._mark()
+        return sum(self.heap.get(obj_id).size for obj_id in marked)

@@ -1,0 +1,212 @@
+"""The simulated heap: an explicit object graph with byte-accurate sizes.
+
+Chameleon's VM-side measurements are all statements about the *object
+graph*: which objects are reachable at each GC cycle, how many bytes they
+occupy, and which of those bytes belong to collection ADTs.  This module
+provides that substrate.  Every allocation performed by a workload or by a
+collection implementation creates a :class:`HeapObject` in a
+:class:`SimHeap`; the mark-sweep collector in :mod:`repro.memory.gc` then
+computes reachability and per-cycle statistics over exactly this graph.
+
+Design notes
+------------
+* Reference edges are reference-counted per *edge multiplicity* (a list may
+  legitimately reference the same element twice), so removing one of two
+  identical refs keeps the edge alive.
+* Objects may carry a ``payload``: the Python-side entity they model (a
+  collection implementation, an application record...).  Semantic ADT maps
+  use the payload to compute used/core bytes without walking the graph.
+* Death hooks replace the paper's selective finalizers: when the sweeper
+  frees an object that has an ``on_death`` callback, the callback runs so
+  the profiler can fold the instance's ``ObjectContextInfo`` into its
+  allocation context (section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.memory.layout import MemoryModel
+
+__all__ = ["HeapObject", "SimHeap", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation cannot be satisfied under the heap limit
+    even after a full collection."""
+
+    def __init__(self, requested: int, live: int, limit: int) -> None:
+        super().__init__(
+            f"out of memory: requested {requested} bytes with {live} live "
+            f"of {limit} byte limit"
+        )
+        self.requested = requested
+        self.live = live
+        self.limit = limit
+
+
+@dataclass
+class HeapObject:
+    """One simulated heap cell.
+
+    Attributes:
+        obj_id: Dense integer identity, unique within the owning heap.
+        type_name: The simulated Java type (``"HashMap"``, ``"Object[]"``,
+            ``"LinkedList$Entry"``...).  Semantic maps key off this.
+        size: Aligned size in bytes.
+        refs: Outgoing reference edges with multiplicity.
+        payload: Optional Python-side entity this object models.
+        context_id: Allocation-context identity, when tracked.
+        on_death: Optional callback invoked by the sweeper when freed.
+    """
+
+    obj_id: int
+    type_name: str
+    size: int
+    refs: Counter = field(default_factory=Counter)
+    payload: Any = None
+    context_id: Optional[int] = None
+    on_death: Optional[Callable[["HeapObject"], None]] = None
+
+    def add_ref(self, target_id: int) -> None:
+        """Add one reference edge to ``target_id``."""
+        self.refs[target_id] += 1
+
+    def remove_ref(self, target_id: int) -> None:
+        """Drop one reference edge to ``target_id``.
+
+        Raises:
+            KeyError: if no such edge exists -- an edge-accounting bug in
+                the caller that must not pass silently.
+        """
+        count = self.refs.get(target_id, 0)
+        if count <= 0:
+            raise KeyError(f"object #{self.obj_id} holds no ref to #{target_id}")
+        if count == 1:
+            del self.refs[target_id]
+        else:
+            self.refs[target_id] = count - 1
+
+    def clear_refs(self) -> None:
+        """Drop every outgoing edge (used when a structure is discarded)."""
+        self.refs.clear()
+
+    def __hash__(self) -> int:
+        return self.obj_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HeapObject #{self.obj_id} {self.type_name} {self.size}B>"
+
+
+class SimHeap:
+    """A growable object graph with named GC roots and a byte budget.
+
+    The heap does not collect by itself; :class:`repro.memory.gc.MarkSweepGC`
+    owns the mark/sweep logic.  The heap *does* know its occupancy so the
+    runtime can decide when a collection is needed and when to declare an
+    :class:`OutOfMemoryError` (which is how the minimal-heap experiments of
+    Fig. 6 are driven).
+    """
+
+    def __init__(self, model: Optional[MemoryModel] = None,
+                 limit: Optional[int] = None) -> None:
+        self.model = model or MemoryModel.for_32bit()
+        self.limit = limit
+        self._objects: Dict[int, HeapObject] = {}
+        self._roots: Counter = Counter()
+        self._next_id = 1
+        # Monotonic accounting across the whole run.
+        self.total_allocated_bytes = 0
+        self.total_allocated_objects = 0
+        self.total_freed_bytes = 0
+        self.total_freed_objects = 0
+
+    # ------------------------------------------------------------------
+    # Allocation and the object store
+    # ------------------------------------------------------------------
+    def allocate(self, type_name: str, size: int, *, payload: Any = None,
+                 context_id: Optional[int] = None,
+                 on_death: Optional[Callable[[HeapObject], None]] = None,
+                 ) -> HeapObject:
+        """Allocate an object of ``size`` aligned bytes.
+
+        The caller is expected to have produced ``size`` from the heap's
+        :class:`MemoryModel`; the heap aligns defensively anyway so
+        accounting invariants hold even for hand-written sizes.
+        """
+        if size < 0:
+            raise ValueError("allocation size cannot be negative")
+        size = self.model.align(size)
+        obj = HeapObject(self._next_id, type_name, size,
+                         payload=payload, context_id=context_id,
+                         on_death=on_death)
+        self._next_id += 1
+        self._objects[obj.obj_id] = obj
+        self.total_allocated_bytes += size
+        self.total_allocated_objects += 1
+        return obj
+
+    def free(self, obj: HeapObject) -> None:
+        """Remove ``obj`` from the store (called by the sweeper)."""
+        del self._objects[obj.obj_id]
+        self.total_freed_bytes += obj.size
+        self.total_freed_objects += 1
+
+    def get(self, obj_id: int) -> HeapObject:
+        """Look up a live object by id."""
+        return self._objects[obj_id]
+
+    def contains(self, obj_id: int) -> bool:
+        """Whether ``obj_id`` is currently in the store (i.e. not swept)."""
+        return obj_id in self._objects
+
+    def objects(self) -> Iterator[HeapObject]:
+        """Iterate over every object currently in the store."""
+        return iter(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Roots
+    # ------------------------------------------------------------------
+    def add_root(self, obj: HeapObject) -> None:
+        """Pin ``obj`` as a GC root (thread stack / static analog)."""
+        self._roots[obj.obj_id] += 1
+
+    def remove_root(self, obj: HeapObject) -> None:
+        """Unpin one root registration of ``obj``."""
+        count = self._roots.get(obj.obj_id, 0)
+        if count <= 0:
+            raise KeyError(f"object #{obj.obj_id} is not a root")
+        if count == 1:
+            del self._roots[obj.obj_id]
+        else:
+            self._roots[obj.obj_id] = count - 1
+
+    def root_ids(self) -> Iterator[int]:
+        """Iterate over the ids of the current root set."""
+        return iter(self._roots.keys())
+
+    def is_root(self, obj: HeapObject) -> bool:
+        """Whether ``obj`` is currently pinned as a root."""
+        return obj.obj_id in self._roots
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+    @property
+    def occupied_bytes(self) -> int:
+        """Bytes held by every not-yet-swept object (live or garbage)."""
+        return self.total_allocated_bytes - self.total_freed_bytes
+
+    def would_overflow(self, size: int) -> bool:
+        """Whether allocating ``size`` more bytes would exceed the limit."""
+        if self.limit is None:
+            return False
+        return self.occupied_bytes + self.model.align(size) > self.limit

@@ -1,0 +1,16 @@
+"""Semantic collections profiling: counters, aggregates, reports."""
+
+from repro.profiler.context_info import ContextInfo
+from repro.profiler.counters import MUTATING_OPS, OP_BY_DSL_NAME, READ_OPS, Op
+from repro.profiler.object_info import ObjectContextInfo
+from repro.profiler.profiler import SemanticProfiler
+from repro.profiler.report import ContextProfile, ProfileReport, build_report
+from repro.profiler.stability import StabilityPolicy, StabilityVerdict
+from repro.profiler.welford import Welford
+
+__all__ = [
+    "ContextInfo", "MUTATING_OPS", "OP_BY_DSL_NAME", "READ_OPS", "Op",
+    "ObjectContextInfo", "SemanticProfiler", "ContextProfile",
+    "ProfileReport", "build_report", "StabilityPolicy", "StabilityVerdict",
+    "Welford",
+]

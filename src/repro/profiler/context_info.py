@@ -1,0 +1,153 @@
+"""Per-allocation-context aggregation (the paper's ``ContextInfo``).
+
+A :class:`ContextInfo` holds everything Table 1 lists for one allocation
+context, aggregated over the collection instances that were allocated
+there:
+
+* the number of instances (allocated / already dead);
+* per-operation Welford aggregates -- average and standard deviation of
+  each operation count over instances (``#add`` and ``@add`` in the rule
+  language);
+* the Welford aggregate of per-instance *maximal size* (``maxSize`` /
+  ``@maxSize``);
+* the distribution of initial capacities.
+
+The heap-side statistics of Table 1 (total/max collection live, used and
+core data per context) are produced by the collector on every GC cycle and
+live in :class:`repro.memory.stats.ContextHeapAggregate`; the rule engine
+joins the two views through :class:`ContextProfile` in
+:mod:`repro.profiler.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.profiler.counters import Op
+from repro.profiler.object_info import ObjectContextInfo
+from repro.profiler.welford import Welford
+
+__all__ = ["ContextInfo"]
+
+
+class ContextInfo:
+    """Table 1 trace statistics for one allocation context."""
+
+    def __init__(self, context_id: int, src_type: str) -> None:
+        self.context_id = context_id
+        self.src_type = src_type
+        self.impl_names: Set[str] = set()
+        self.instances_allocated = 0
+        self.instances_dead = 0
+        self.op_stats: Dict[Op, Welford] = {}
+        self.max_size_stats = Welford()
+        self.final_size_stats = Welford()
+        self.initial_capacity_stats = Welford()
+        self.total_ops = 0
+        self.swap_count = 0
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def on_allocation(self, impl_name: str) -> None:
+        """Register one new instance at this context."""
+        self.instances_allocated += 1
+        self.impl_names.add(impl_name)
+
+    def absorb(self, info: ObjectContextInfo) -> None:
+        """Fold a dead (or end-of-run live) instance's record in.
+
+        Every operation in the vocabulary is observed -- an instance that
+        never performed ``#contains`` contributes a 0 observation, so the
+        per-op mean really is "average per instance at this context".
+        """
+        if info.context_id != self.context_id:
+            raise ValueError(
+                f"instance belongs to context {info.context_id}, "
+                f"not {self.context_id}")
+        prior_dead = self.instances_dead
+        self.instances_dead += 1
+        self.total_ops += info.total_ops
+        self.swap_count += info.swap_count
+        seen = info.op_counts
+        for op, count in seen.items():
+            self._op_stat(op, backfill=prior_dead).observe(count)
+        for op, stat in self.op_stats.items():
+            if op not in seen:
+                stat.observe(0)
+        self.max_size_stats.observe(info.max_size)
+        self.final_size_stats.observe(info.final_size)
+        if info.initial_capacity is not None:
+            self.initial_capacity_stats.observe(info.initial_capacity)
+
+    def _op_stat(self, op: Op, backfill: int = 0) -> Welford:
+        stat = self.op_stats.get(op)
+        if stat is None:
+            stat = Welford()
+            # Backfill zeros for instances absorbed before this op was
+            # first seen, keeping all op aggregates over the same count.
+            for _ in range(backfill):
+                stat.observe(0)
+            self.op_stats[op] = stat
+        return stat
+
+    # ------------------------------------------------------------------
+    # Rule-language accessors
+    # ------------------------------------------------------------------
+    def op_mean(self, op: Op) -> float:
+        """``#op`` in the rule language: average count per instance."""
+        stat = self.op_stats.get(op)
+        return stat.mean if stat is not None else 0.0
+
+    def op_stddev(self, op: Op) -> float:
+        """``@op``: standard deviation of the count across instances."""
+        stat = self.op_stats.get(op)
+        return stat.stddev if stat is not None else 0.0
+
+    def op_total(self, op: Op) -> float:
+        """Total count of ``op`` summed over absorbed instances."""
+        stat = self.op_stats.get(op)
+        return stat.total if stat is not None else 0.0
+
+    @property
+    def all_ops_mean(self) -> float:
+        """``#allOps``: average total operations per instance."""
+        if self.instances_dead == 0:
+            return 0.0
+        return self.total_ops / self.instances_dead
+
+    @property
+    def avg_max_size(self) -> float:
+        """``maxSize``: average maximal size across instances."""
+        return self.max_size_stats.mean if self.max_size_stats.count else 0.0
+
+    @property
+    def max_max_size(self) -> float:
+        """Largest maximal size any instance at this context reached."""
+        return self.max_size_stats.max if self.max_size_stats.count else 0.0
+
+    @property
+    def max_size_stddev(self) -> float:
+        """``@maxSize``: size-stability input for Definition 3.1."""
+        return self.max_size_stats.stddev
+
+    @property
+    def avg_initial_capacity(self) -> float:
+        """``initialCapacity``: average explicit initial capacity."""
+        if self.initial_capacity_stats.count == 0:
+            return 0.0
+        return self.initial_capacity_stats.mean
+
+    def operation_distribution(self) -> Dict[Op, float]:
+        """Fraction of total operations per op kind (the Fig. 3 circles)."""
+        totals = {op: stat.total for op, stat in self.op_stats.items()
+                  if stat.total > 0}
+        grand = sum(totals.values())
+        if grand == 0:
+            return {}
+        return {op: total / grand for op, total in totals.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ContextInfo ctx={self.context_id} {self.src_type} "
+                f"n={self.instances_allocated} dead={self.instances_dead} "
+                f"avgMaxSize={self.avg_max_size:.2f}>")

@@ -1,0 +1,86 @@
+"""The operation vocabulary tracked by the semantic profiler.
+
+Chameleon does not record full operation sequences ("prohibitive cost",
+section 3.2.2); it records the *distribution* of operations per allocation
+context.  This module defines the operation alphabet: every collection
+operation the library can perform, plus the two argument-side counters the
+paper singles out -- ``copied`` (the collection was the *source* of an
+``addAll``/``putAll``/copy-construction) and ``iterEmpty`` (an iterator was
+created over the collection while it was empty).
+
+Each operation knows its DSL spelling (``#add``, ``#get(int)``,
+``#get(Object)``...) so the Fig. 4 rule language and the profiler agree on
+names.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+__all__ = ["Op", "OP_BY_DSL_NAME", "MUTATING_OPS", "READ_OPS"]
+
+
+class Op(enum.Enum):
+    """One trackable collection operation (or argument-side event)."""
+
+    # -- growth -----------------------------------------------------------
+    ADD = "#add"
+    ADD_INDEX = "#add(int)"
+    ADD_ALL = "#addAll"
+    ADD_ALL_INDEX = "#addAll(int)"
+    PUT = "#put"
+    PUT_ALL = "#putAll"
+
+    # -- reads ------------------------------------------------------------
+    GET_INDEX = "#get(int)"
+    GET_OBJECT = "#get(Object)"
+    CONTAINS = "#contains"
+    CONTAINS_KEY = "#containsKey"
+    CONTAINS_VALUE = "#containsValue"
+    INDEX_OF = "#indexOf"
+    SIZE = "#size"
+    IS_EMPTY = "#isEmpty"
+    TO_ARRAY = "#toArray"
+
+    # -- removal ----------------------------------------------------------
+    REMOVE_OBJECT = "#remove"
+    REMOVE_INDEX = "#remove(int)"
+    REMOVE_FIRST = "#removeFirst"
+    REMOVE_KEY = "#removeKey"
+    CLEAR = "#clear"
+
+    # -- updates ----------------------------------------------------------
+    SET_INDEX = "#set(int)"
+
+    # -- iteration ----------------------------------------------------------
+    ITERATE = "#iterator"
+
+    # -- argument-side events (section 3.2.2) -------------------------------
+    COPIED = "#copied"
+    ITER_EMPTY = "#iterEmpty"
+
+    @property
+    def dsl_name(self) -> str:
+        """The spelling used in the Fig. 4 rule language."""
+        return self.value
+
+
+OP_BY_DSL_NAME: Dict[str, Op] = {op.dsl_name: op for op in Op}
+"""Reverse lookup used by the rule parser (``#add(int)`` -> ``ADD_INDEX``)."""
+
+
+MUTATING_OPS = frozenset({
+    Op.ADD, Op.ADD_INDEX, Op.ADD_ALL, Op.ADD_ALL_INDEX, Op.PUT, Op.PUT_ALL,
+    Op.REMOVE_OBJECT, Op.REMOVE_INDEX, Op.REMOVE_FIRST, Op.REMOVE_KEY,
+    Op.CLEAR, Op.SET_INDEX,
+})
+"""Operations that change collection contents."""
+
+
+READ_OPS = frozenset({
+    Op.GET_INDEX, Op.GET_OBJECT, Op.CONTAINS, Op.CONTAINS_KEY,
+    Op.CONTAINS_VALUE, Op.INDEX_OF, Op.SIZE, Op.IS_EMPTY, Op.TO_ARRAY,
+    Op.ITERATE,
+})
+"""Operations that only observe collection contents."""

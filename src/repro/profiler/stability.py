@@ -1,0 +1,98 @@
+"""The stability metric of Definition 3.1 and its gating policy.
+
+    "We define the stability of a metric in a partial allocation context c
+    as the standard deviation of that metric in the usage profile of
+    collections allocated in c."  (section 3.2.1)
+
+A selection rule should only fire when the metrics it reads are *stable*:
+replacing a HashMap with an ArrayMap because sizes are small is only safe
+if the sizes at the context really cluster around a small value.  The
+paper's implementation requires size values to be tight while leaving
+operation counts unrestricted; :class:`StabilityPolicy` encodes exactly
+that default and lets callers tighten or loosen each class of metric.
+
+Size distributions are "often biased around a single value (e.g. 1), with
+a long tail", so in addition to an absolute standard-deviation cap the
+policy supports a relative cap (coefficient of variation) that scales with
+the mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.profiler.context_info import ContextInfo
+from repro.profiler.welford import Welford
+
+__all__ = ["StabilityPolicy", "StabilityVerdict"]
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """Outcome of a stability check, with the measured dispersion."""
+
+    stable: bool
+    stddev: float
+    threshold: float
+    metric: str
+
+    def __bool__(self) -> bool:
+        return self.stable
+
+
+@dataclass(frozen=True)
+class StabilityPolicy:
+    """Per-metric-class stability thresholds.
+
+    Attributes:
+        size_stddev_cap: Absolute standard-deviation cap for size metrics.
+        size_cv_cap: Relative cap -- sizes are also accepted when
+            ``stddev <= size_cv_cap * mean`` (long-tail tolerance).
+        op_stddev_cap: Cap for operation counts; ``None`` means operation
+            counts are not restricted (the paper's default).
+        min_instances: Minimum dead instances before any metric at a
+            context is trusted ("reasonable statistical confidence").
+    """
+
+    size_stddev_cap: float = 2.0
+    size_cv_cap: float = 0.5
+    op_stddev_cap: Optional[float] = None
+    min_instances: int = 3
+
+    def check_size(self, stats: Welford, metric: str = "maxSize"
+                   ) -> StabilityVerdict:
+        """Whether a size metric is tight enough to act on."""
+        if stats.count < self.min_instances:
+            return StabilityVerdict(False, math.inf, self.size_stddev_cap,
+                                    metric)
+        threshold = max(self.size_stddev_cap,
+                        self.size_cv_cap * abs(stats.mean))
+        return StabilityVerdict(stats.stddev <= threshold, stats.stddev,
+                                threshold, metric)
+
+    def check_ops(self, stats: Welford, metric: str = "opCount"
+                  ) -> StabilityVerdict:
+        """Whether an operation-count metric is stable (default: always)."""
+        if self.op_stddev_cap is None:
+            return StabilityVerdict(True, stats.stddev, math.inf, metric)
+        if stats.count < self.min_instances:
+            return StabilityVerdict(False, math.inf, self.op_stddev_cap,
+                                    metric)
+        return StabilityVerdict(stats.stddev <= self.op_stddev_cap,
+                                stats.stddev, self.op_stddev_cap, metric)
+
+    def context_is_stable(self, info: ContextInfo) -> StabilityVerdict:
+        """Overall gate used by the rule engine before any size-sensitive
+        replacement: enough instances, and the max-size metric is tight."""
+        if info.instances_dead < self.min_instances:
+            return StabilityVerdict(False, math.inf, self.size_stddev_cap,
+                                    "instances")
+        return self.check_size(info.max_size_stats)
+
+    @classmethod
+    def permissive(cls) -> "StabilityPolicy":
+        """No gating at all -- the ablation baseline showing misfires."""
+        return cls(size_stddev_cap=math.inf, size_cv_cap=math.inf,
+                   op_stddev_cap=None, min_instances=1)

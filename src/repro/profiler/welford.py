@@ -1,0 +1,76 @@
+"""Streaming mean/variance accumulator (Welford's algorithm).
+
+Table 1 reports, per allocation context, the *average* and *standard
+deviation* of every operation count and of the maximal collection size.
+Those aggregates are computed over the stream of dying collection
+instances, one observation per instance, without storing the stream --
+exactly what Welford's online algorithm provides.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Welford"]
+
+
+class Welford:
+    """Online mean / variance / extrema over a stream of numbers."""
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Welford") -> None:
+        """Fold another accumulator into this one (Chan's parallel merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self.mean * self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two observations)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation -- the paper's stability measure."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Welford n={self.count} mean={self.mean:.3f} "
+                f"sd={self.stddev:.3f}>")

@@ -1,0 +1,168 @@
+"""AST for the Fig. 4 implementation-selection rule language.
+
+A rule has the shape::
+
+    srcType : cond -> action
+
+where ``cond`` is a boolean combination of comparisons over the Table 1
+metrics (operation counts ``#add``/``#get(int)``, count variances
+``@add``, trace data ``maxSize``/``initialCapacity``, heap data
+``totLive``/``maxUsed``/...), and ``action`` is either a replacement
+implementation (optionally with a capacity argument) or one of the
+advice-only fixes of Table 2 (``setCapacity``, ``avoid``,
+``eliminateTemporaries``, ``emptyIterator``).
+
+Nodes are frozen dataclasses; evaluation lives in
+:mod:`repro.rules.evaluator`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.profiler.counters import Op
+
+__all__ = [
+    "Expr", "Number", "ConstRef", "OpCount", "OpVariance", "DataRef",
+    "BinaryOp", "Condition", "Comparison", "AndCond", "OrCond", "NotCond",
+    "ActionKind", "Action", "Rule", "CAPACITY_MAX_SIZE",
+]
+
+
+class Expr:
+    """Base class of arithmetic expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class ConstRef(Expr):
+    """A named tunable constant, bound at engine construction.
+
+    The paper keeps rule thresholds symbolic ("the constants used in the
+    rules are not shown, as they may be tuned per specific environment").
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class OpCount(Expr):
+    """``#op``: the average per-instance count of an operation."""
+
+    op: Op
+
+
+@dataclass(frozen=True)
+class OpVariance(Expr):
+    """``@op``: the standard deviation of an operation's count."""
+
+    op: Op
+
+
+@dataclass(frozen=True)
+class DataRef(Expr):
+    """A trace/heap data identifier (``maxSize``, ``totLive``, ...)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic combination of two expressions."""
+
+    operator: str  # one of + - * /
+    left: Expr
+    right: Expr
+
+
+class Condition:
+    """Base class of boolean conditions."""
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``expr OP expr`` with OP in ``== != < <= > >=``."""
+
+    operator: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class AndCond(Condition):
+    """Conjunction."""
+
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class OrCond(Condition):
+    """Disjunction."""
+
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class NotCond(Condition):
+    """Negation."""
+
+    operand: Condition
+
+
+class ActionKind(enum.Enum):
+    """What a fired rule asks for (Table 2's "Suggested Fix" column)."""
+
+    REPLACE = "replace"
+    SET_CAPACITY = "set initial capacity"
+    AVOID_ALLOCATION = "avoid allocation"
+    ELIMINATE_TEMPORARIES = "eliminate temporaries"
+    EMPTY_ITERATOR = "use shared empty iterator"
+
+
+CAPACITY_MAX_SIZE = "maxSize"
+"""Sentinel capacity expression: size the collection to its observed
+maximal size."""
+
+
+@dataclass(frozen=True)
+class Action(Condition):
+    """The right-hand side of a rule."""
+
+    kind: ActionKind
+    impl_name: Optional[str] = None
+    capacity: Optional[object] = None  # int | CAPACITY_MAX_SIZE | None
+
+    def render(self) -> str:
+        """Human-readable action text."""
+        if self.kind is ActionKind.REPLACE:
+            suffix = ""
+            if self.capacity is not None:
+                suffix = f"({self.capacity})"
+            return f"replace with {self.impl_name}{suffix}"
+        if self.kind is ActionKind.SET_CAPACITY:
+            return f"set initial capacity ({self.capacity})"
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One parsed selection rule."""
+
+    src_type: str
+    condition: Condition
+    action: Action
+    text: str = ""
+
+    def render(self) -> str:
+        """The rule's source text (or a reconstruction tag)."""
+        return self.text or f"{self.src_type} : <cond> -> {self.action.render()}"

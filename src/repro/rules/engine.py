@@ -1,0 +1,169 @@
+"""The rule engine: evaluate selection rules over profiled contexts.
+
+For every profiled allocation context the engine walks the rule list in
+priority order, applying three gates before a rule may fire:
+
+1. **Type match** -- the rule's ``srcType`` must cover the context's
+   allocated type (exact name, ADT-kind name ``List``/``Set``/``Map``, or
+   the universal ``Collection``).
+2. **Stability** (Definition 3.1) -- size-sensitive rules require the
+   context's maximal-size metric to be tight.
+3. **Potential** -- space-motivated rules require the context's observed
+   saving potential (peak-cycle ``live - used``) to clear a threshold.
+
+The first matching rule becomes the context's primary suggestion; further
+matches are kept as secondary suggestions.  Output is ranked by saving
+potential, matching the tool behaviour of section 2.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.collections.base import CollectionKind
+from repro.profiler.report import ContextProfile, ProfileReport
+from repro.profiler.stability import StabilityPolicy
+from repro.rules.ast import Action, ActionKind, CAPACITY_MAX_SIZE
+from repro.rules.builtin import DEFAULT_CONSTANTS, RuleSpec, builtin_rules
+from repro.rules.evaluator import RuleEnvironment, evaluate_condition
+from repro.rules.suggestions import RuleCategory, Suggestion
+
+__all__ = ["RuleEngine"]
+
+_KIND_NAMES = {
+    "List": CollectionKind.LIST,
+    "Set": CollectionKind.SET,
+    "Map": CollectionKind.MAP,
+}
+
+
+class RuleEngine:
+    """Evaluates a rule set over a run's profiling report."""
+
+    def __init__(self,
+                 rules: Optional[Iterable[RuleSpec]] = None,
+                 constants: Optional[Mapping[str, float]] = None,
+                 stability: Optional[StabilityPolicy] = None,
+                 min_potential_bytes: int = 512) -> None:
+        self.rules: List[RuleSpec] = list(rules) if rules is not None \
+            else builtin_rules()
+        self.constants: Dict[str, float] = dict(DEFAULT_CONSTANTS)
+        if constants:
+            self.constants.update(constants)
+        self.stability = stability or StabilityPolicy()
+        self.min_potential_bytes = min_potential_bytes
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, report: ProfileReport) -> List[Suggestion]:
+        """All primary suggestions, ranked by saving potential."""
+        suggestions: List[Suggestion] = []
+        for profile in report.profiles:
+            suggestion = self.evaluate_context(profile)
+            if suggestion is not None:
+                suggestions.append(suggestion)
+        suggestions.sort(key=lambda s: s.potential_bytes, reverse=True)
+        return suggestions
+
+    def evaluate_context(self, profile: ContextProfile,
+                         ) -> Optional[Suggestion]:
+        """The primary suggestion for one context (secondaries attached)."""
+        matches: List[Suggestion] = []
+        env = RuleEnvironment(profile, self.constants)
+        size_stable = None  # lazily computed, shared across rules
+        for spec in self.rules:
+            if not self._type_matches(spec.rule.src_type, profile):
+                continue
+            if spec.requires_stable_size:
+                if size_stable is None:
+                    size_stable = bool(
+                        self.stability.context_is_stable(profile.info))
+                if not size_stable:
+                    continue
+            if spec.space_gated and not self._clears_potential(profile):
+                continue
+            if not evaluate_condition(spec.rule.condition, env):
+                continue
+            matches.append(self._make_suggestion(spec, profile))
+        if not matches:
+            return None
+        primary = matches[0]
+        primary.secondary = matches[1:]
+        return primary
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _type_matches(rule_type: str, profile: ContextProfile) -> bool:
+        if rule_type == "Collection":
+            return True
+        kind = _KIND_NAMES.get(rule_type)
+        if kind is not None:
+            return profile.kind is kind
+        return profile.src_type == rule_type
+
+    def _clears_potential(self, profile: ContextProfile) -> bool:
+        return profile.max_potential >= self.min_potential_bytes
+
+    # ------------------------------------------------------------------
+    # Suggestion construction
+    # ------------------------------------------------------------------
+    def _make_suggestion(self, spec: RuleSpec,
+                         profile: ContextProfile) -> Suggestion:
+        capacity = self._resolve_capacity(spec.rule.action, profile)
+        if (capacity is None
+                and spec.rule.action.kind is ActionKind.REPLACE
+                and profile.info.max_size_stats.count > 0):
+            # A replacement without an explicit capacity is still sized
+            # from the observed profile: the program's own requested
+            # capacity was aimed at the *old* implementation (which may
+            # have ignored it entirely, as LinkedList does) and honouring
+            # it blindly can regress the footprint.  Stable contexts get
+            # the conservative typical size; unstable ones the observed
+            # maximum (never triggers regrowth, bounded by real need).
+            info = profile.info
+            if self.stability.context_is_stable(info):
+                capacity = max(1, math.ceil(info.avg_max_size
+                                            - info.max_size_stddev))
+            else:
+                capacity = max(1, math.ceil(info.max_size_stats.max))
+        return Suggestion(profile=profile, rule=spec.rule,
+                          action=spec.rule.action, category=spec.category,
+                          message=spec.message, resolved_capacity=capacity)
+
+    @staticmethod
+    def _resolve_capacity(action: Action,
+                          profile: ContextProfile) -> Optional[int]:
+        if action.capacity is None:
+            return None
+        if action.capacity == CAPACITY_MAX_SIZE:
+            # Conservative resolution: one standard deviation below the
+            # context's average maximal size.  For tight contexts (the
+            # only ones the stability gate lets through with sd ~ 0)
+            # this is the average itself; for mixed-but-tolerated
+            # contexts it sizes for the *smaller* instances -- larger
+            # ones regrow cheaply, whereas an average-sized capacity
+            # would permanently overshoot every small instance and can
+            # regress the footprint.
+            info = profile.info
+            return max(1, math.ceil(info.avg_max_size
+                                    - info.max_size_stddev))
+        return int(action.capacity)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def render(suggestions: List[Suggestion],
+               limit: Optional[int] = None) -> str:
+        """The ranked suggestion list in the paper's report format."""
+        shown = suggestions if limit is None else suggestions[:limit]
+        if not shown:
+            return "No collection adaptations suggested."
+        lines = []
+        for rank, suggestion in enumerate(shown, start=1):
+            lines.append(suggestion.render(rank))
+        return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Evaluation of rule conditions against a context's profile.
+
+The evaluator binds the rule language's vocabulary to the Table 1
+statistics of one :class:`~repro.profiler.report.ContextProfile`:
+
+========================  ====================================================
+Rule identifier           Bound value
+========================  ====================================================
+``#op``                   average per-instance count of ``op``
+``@op``                   standard deviation of ``op``'s count
+``#allOps`` / ``allOps``  average total operations per instance
+``size``                  average final size of instances
+``maxSize``               average maximal size (``avgMaxSize`` alias)
+``maxMaxSize``            largest maximal size any instance reached
+``initialCapacity``       average explicitly-requested capacity (0 if none)
+``instances``             instances allocated at the context
+``deadInstances``         instances already aggregated
+``swaps``                 backing-implementation swaps observed
+``totLive/maxLive``       collection live bytes, summed/peak over GC cycles
+``totUsed/maxUsed``       used bytes likewise
+``totCore/maxCore``       core bytes likewise
+``liveCount``             summed live collection count over cycles
+``maxLiveCount``          peak live collection count in one cycle
+``potential``             ``totLive - totUsed`` (the paper's saving measure)
+``maxPotential``          ``maxLive - maxUsed``
+========================  ====================================================
+
+Floating-point equality in comparisons uses an absolute epsilon so that
+counter averages like ``#remove == 0`` behave as intended.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from repro.profiler.report import ContextProfile
+from repro.rules.ast import (AndCond, BinaryOp, Comparison, Condition,
+                             ConstRef, DataRef, Expr, Number, NotCond,
+                             OpCount, OpVariance, OrCond)
+
+__all__ = ["EvaluationError", "RuleEnvironment", "evaluate_condition",
+           "evaluate_expression"]
+
+_EPSILON = 1e-9
+
+
+class EvaluationError(ValueError):
+    """Raised when a rule references an unbound constant or bad data."""
+
+
+class RuleEnvironment:
+    """Binds rule identifiers for one allocation context."""
+
+    def __init__(self, profile: ContextProfile,
+                 constants: Optional[Mapping[str, float]] = None) -> None:
+        self.profile = profile
+        self.constants: Dict[str, float] = dict(constants or {})
+
+    # ------------------------------------------------------------------
+    # Identifier resolution
+    # ------------------------------------------------------------------
+    def constant(self, name: str) -> float:
+        try:
+            return float(self.constants[name])
+        except KeyError:
+            raise EvaluationError(
+                f"rule constant {name!r} is not bound; known constants: "
+                f"{sorted(self.constants)}") from None
+
+    def data(self, name: str) -> float:
+        info = self.profile.info
+        heap = self.profile.heap
+        if name == "size":
+            return info.final_size_stats.mean if info.final_size_stats.count else 0.0
+        if name in ("maxSize", "avgMaxSize"):
+            return info.avg_max_size
+        if name == "maxMaxSize":
+            return info.max_max_size
+        if name == "initialCapacity":
+            return info.avg_initial_capacity
+        if name == "instances":
+            return float(info.instances_allocated)
+        if name == "deadInstances":
+            return float(info.instances_dead)
+        if name == "allOps":
+            return info.all_ops_mean
+        if name == "swaps":
+            return float(info.swap_count)
+        if name == "totLive":
+            return float(heap.live.total) if heap else 0.0
+        if name == "maxLive":
+            return float(heap.live.max) if heap else 0.0
+        if name == "totUsed":
+            return float(heap.used.total) if heap else 0.0
+        if name == "maxUsed":
+            return float(heap.used.max) if heap else 0.0
+        if name == "totCore":
+            return float(heap.core.total) if heap else 0.0
+        if name == "maxCore":
+            return float(heap.core.max) if heap else 0.0
+        if name == "liveCount":
+            return float(heap.object_count.total) if heap else 0.0
+        if name == "maxLiveCount":
+            return float(heap.object_count.max) if heap else 0.0
+        if name == "potential":
+            return float(self.profile.total_potential)
+        if name == "maxPotential":
+            return float(self.profile.max_potential)
+        raise EvaluationError(f"unknown data identifier {name!r}")
+
+
+def evaluate_expression(expr: Expr, env: RuleEnvironment) -> float:
+    """Evaluate an arithmetic expression to a float."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, ConstRef):
+        return env.constant(expr.name)
+    if isinstance(expr, OpCount):
+        return env.profile.info.op_mean(expr.op)
+    if isinstance(expr, OpVariance):
+        return env.profile.info.op_stddev(expr.op)
+    if isinstance(expr, DataRef):
+        return env.data(expr.name)
+    if isinstance(expr, BinaryOp):
+        left = evaluate_expression(expr.left, env)
+        right = evaluate_expression(expr.right, env)
+        if expr.operator == "+":
+            return left + right
+        if expr.operator == "-":
+            return left - right
+        if expr.operator == "*":
+            return left * right
+        if expr.operator == "/":
+            if abs(right) < _EPSILON:
+                raise EvaluationError("division by zero in rule expression")
+            return left / right
+        raise EvaluationError(f"unknown operator {expr.operator!r}")
+    raise EvaluationError(f"cannot evaluate {type(expr).__name__} as value")
+
+
+def evaluate_condition(condition: Condition, env: RuleEnvironment) -> bool:
+    """Evaluate a boolean condition."""
+    if isinstance(condition, Comparison):
+        left = evaluate_expression(condition.left, env)
+        right = evaluate_expression(condition.right, env)
+        if condition.operator == "==":
+            return math.isclose(left, right, abs_tol=_EPSILON)
+        if condition.operator == "!=":
+            return not math.isclose(left, right, abs_tol=_EPSILON)
+        if condition.operator == "<":
+            return left < right
+        if condition.operator == "<=":
+            return left <= right + _EPSILON
+        if condition.operator == ">":
+            return left > right
+        if condition.operator == ">=":
+            return left >= right - _EPSILON
+        raise EvaluationError(f"unknown comparator {condition.operator!r}")
+    if isinstance(condition, AndCond):
+        return (evaluate_condition(condition.left, env)
+                and evaluate_condition(condition.right, env))
+    if isinstance(condition, OrCond):
+        return (evaluate_condition(condition.left, env)
+                or evaluate_condition(condition.right, env))
+    if isinstance(condition, NotCond):
+        return not evaluate_condition(condition.operand, env)
+    raise EvaluationError(
+        f"cannot evaluate {type(condition).__name__} as boolean")

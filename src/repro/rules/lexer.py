@@ -1,0 +1,133 @@
+"""Tokenizer for the Fig. 4 rule language.
+
+Token kinds:
+
+* ``NUMBER`` -- integer or decimal literals;
+* ``IDENT`` -- identifiers (source types, data names, constants, actions);
+* ``OPCOUNT`` -- ``#name`` or ``#name(args)`` operation counters, with the
+  argument list folded into the canonical DSL spelling (``#add(int,
+  Object)`` normalises to ``#add(int)``, matching Table 2's notation);
+* ``OPVAR`` -- ``@name`` count-variance references;
+* punctuation -- comparison and arithmetic operators, booleans ``& | !``,
+  parentheses, ``:`` and the ``->`` arrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "LexError", "tokenize"]
+
+
+class LexError(ValueError):
+    """Raised on malformed rule text."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source offset."""
+
+    kind: str
+    value: str
+    position: int
+
+
+_PUNCT_TWO = ("->", "==", "!=", "<=", ">=", "&&", "||")
+_PUNCT_ONE = "()+-*/<>=&|!:,."
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def _read_ident(text: str, start: int) -> int:
+    end = start
+    while end < len(text) and _is_ident_char(text[end]):
+        end += 1
+    return end
+
+
+def _read_counter(text: str, start: int, sigil: str) -> tuple:
+    """Read ``#name`` / ``@name`` with an optional ``(arg, ...)`` suffix.
+
+    Returns ``(canonical_name, end_offset)`` where the canonical name keeps
+    only the first argument: ``#addAll(int, Collection)`` -> ``#addAll(int)``.
+    """
+    pos = start + 1
+    if pos >= len(text) or not _is_ident_start(text[pos]):
+        raise LexError(f"expected operation name after {sigil!r}", start)
+    end = _read_ident(text, pos)
+    name = text[pos:end]
+    if end < len(text) and text[end] == "(":
+        close = text.find(")", end)
+        if close < 0:
+            raise LexError("unterminated operation argument list", end)
+        args = [piece.strip() for piece in text[end + 1:close].split(",")]
+        if not args or not args[0]:
+            raise LexError("empty operation argument list", end)
+        canonical = f"{sigil}{name}({args[0]})"
+        return canonical, close + 1
+    return f"{sigil}{name}", end
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize one rule's source text."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "#":
+            value, end = _read_counter(text, pos, "#")
+            tokens.append(Token("OPCOUNT", value, pos))
+            pos = end
+            continue
+        if char == "@":
+            value, end = _read_counter(text, pos, "@")
+            tokens.append(Token("OPVAR", value, pos))
+            pos = end
+            continue
+        if char.isdigit():
+            end = pos
+            seen_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # Only treat the dot as decimal point when a digit
+                    # follows; otherwise it's member access punctuation.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token("NUMBER", text[pos:end], pos))
+            pos = end
+            continue
+        if _is_ident_start(char):
+            end = _read_ident(text, pos)
+            tokens.append(Token("IDENT", text[pos:end], pos))
+            pos = end
+            continue
+        two = text[pos:pos + 2]
+        if two in _PUNCT_TWO:
+            tokens.append(Token(two, two, pos))
+            pos += 2
+            continue
+        if char in _PUNCT_ONE:
+            tokens.append(Token(char, char, pos))
+            pos += 1
+            continue
+        raise LexError(f"unexpected character {char!r}", pos)
+    tokens.append(Token("EOF", "", length))
+    return tokens

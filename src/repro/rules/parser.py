@@ -1,0 +1,253 @@
+"""Recursive-descent parser for the Fig. 4 rule language.
+
+Concrete syntax (one rule per string)::
+
+    rule   := srcType ':' cond '->' action
+    action := implName [ '(' capacity ')' ]
+            | 'setCapacity' '(' capacity ')'
+            | 'avoid' | 'eliminateTemporaries' | 'emptyIterator'
+    capacity := INT | 'maxSize'
+
+Conditions and expressions share one precedence ladder (low to high):
+``|``, ``&``, ``!``, comparisons, ``+ -``, ``* /``, atoms.  Parentheses
+re-enter the ladder at the top, so they can group either booleans
+(``(a > 1) & (b < 2)``) or arithmetic (``(#add + #remove) < X``); the
+parser types every node and rejects mixtures like ``#add & 3``.
+
+Identifiers that are not recognised trace/heap data names are *constant
+references*, bound at engine construction -- the paper's tunable rule
+thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.profiler.counters import OP_BY_DSL_NAME
+from repro.rules.ast import (Action, ActionKind, AndCond, BinaryOp,
+                             CAPACITY_MAX_SIZE, Comparison, Condition,
+                             ConstRef, DataRef, Expr, Number, NotCond,
+                             OpCount, OpVariance, OrCond, Rule)
+from repro.rules.lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse_rule", "parse_condition", "DATA_NAMES"]
+
+DATA_NAMES = frozenset({
+    "size", "maxSize", "avgMaxSize", "maxMaxSize", "initialCapacity",
+    "instances", "deadInstances", "allOps", "swaps",
+    "maxLive", "totLive", "maxUsed", "totUsed", "maxCore", "totCore",
+    "liveCount", "maxLiveCount", "potential", "maxPotential",
+})
+"""Trace and heap data identifiers the evaluator understands (Table 1)."""
+
+_COMPARATORS = ("==", "!=", "<=", ">=", "<", ">")
+_ADVICE_ACTIONS = {
+    "setCapacity": ActionKind.SET_CAPACITY,
+    "avoid": ActionKind.AVOID_ALLOCATION,
+    "avoidAllocation": ActionKind.AVOID_ALLOCATION,
+    "eliminateTemporaries": ActionKind.ELIMINATE_TEMPORARIES,
+    "emptyIterator": ActionKind.EMPTY_ITERATOR,
+}
+
+
+class ParseError(ValueError):
+    """Raised on syntactically or semantically malformed rules."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (near {token.value!r} "
+                         f"at offset {token.position})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise ParseError(f"expected {kind!r}", self.current)
+        return self.advance()
+
+    def accept(self, *kinds: str) -> Optional[Token]:
+        if self.current.kind in kinds:
+            return self.advance()
+        return None
+
+    # -- entry points ----------------------------------------------------
+    def parse_rule(self) -> Rule:
+        src_type = self.expect("IDENT").value
+        self.expect(":")
+        condition = self.parse_or()
+        if not isinstance(condition, Condition):
+            raise ParseError("rule condition must be boolean", self.current)
+        self.expect("->")
+        action = self.parse_action()
+        self.expect("EOF")
+        return Rule(src_type, condition, action, text=self.text.strip())
+
+    def parse_bare_condition(self) -> Condition:
+        condition = self.parse_or()
+        if not isinstance(condition, Condition):
+            raise ParseError("expected a boolean condition", self.current)
+        self.expect("EOF")
+        return condition
+
+    # -- precedence ladder -------------------------------------------------
+    def parse_or(self) -> Union[Expr, Condition]:
+        left = self.parse_and()
+        while self.accept("|", "||"):
+            right = self.parse_and()
+            left = OrCond(self._as_cond(left), self._as_cond(right))
+        return left
+
+    def parse_and(self) -> Union[Expr, Condition]:
+        left = self.parse_not()
+        while self.accept("&", "&&"):
+            right = self.parse_not()
+            left = AndCond(self._as_cond(left), self._as_cond(right))
+        return left
+
+    def parse_not(self) -> Union[Expr, Condition]:
+        if self.accept("!"):
+            return NotCond(self._as_cond(self.parse_not()))
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Union[Expr, Condition]:
+        left = self.parse_additive()
+        if self.current.kind in _COMPARATORS:
+            operator = self.advance().kind
+            # Accept '=' style from the paper's grammar as '=='.
+            right = self.parse_additive()
+            return Comparison(operator, self._as_expr(left),
+                              self._as_expr(right))
+        if self.current.kind == "=":
+            self.advance()
+            right = self.parse_additive()
+            return Comparison("==", self._as_expr(left),
+                              self._as_expr(right))
+        return left
+
+    def parse_additive(self) -> Union[Expr, Condition]:
+        left = self.parse_multiplicative()
+        while self.current.kind in ("+", "-"):
+            operator = self.advance().kind
+            right = self.parse_multiplicative()
+            left = BinaryOp(operator, self._as_expr(left),
+                            self._as_expr(right))
+        return left
+
+    def parse_multiplicative(self) -> Union[Expr, Condition]:
+        left = self.parse_atom()
+        while self.current.kind in ("*", "/"):
+            operator = self.advance().kind
+            right = self.parse_atom()
+            left = BinaryOp(operator, self._as_expr(left),
+                            self._as_expr(right))
+        return left
+
+    def parse_atom(self) -> Union[Expr, Condition]:
+        token = self.current
+        if token.kind == "-":
+            self.advance()
+            operand = self._as_expr(self.parse_atom())
+            return BinaryOp("-", Number(0.0), operand)
+        if token.kind == "NUMBER":
+            self.advance()
+            return Number(float(token.value))
+        if token.kind == "OPCOUNT":
+            self.advance()
+            return self._counter(token, variance=False)
+        if token.kind == "OPVAR":
+            self.advance()
+            return self._counter(token, variance=True)
+        if token.kind == "IDENT":
+            self.advance()
+            name = token.value
+            # 'collection.size' style member access: keep the member name.
+            while self.accept("."):
+                name = self.expect("IDENT").value
+            if name in DATA_NAMES:
+                return DataRef(name)
+            return ConstRef(name)
+        if token.kind == "(":
+            self.advance()
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        raise ParseError("expected an expression", token)
+
+    # -- pieces -----------------------------------------------------------
+    def _counter(self, token: Token,
+                 variance: bool) -> Union[Expr, Condition]:
+        name = token.value
+        body = name[1:]
+        if body == "allOps":
+            if variance:
+                raise ParseError("@allOps is not tracked", token)
+            return DataRef("allOps")
+        op = OP_BY_DSL_NAME.get("#" + body)
+        if op is None:
+            known = ", ".join(sorted(OP_BY_DSL_NAME))
+            raise ParseError(f"unknown operation {name!r}; known: {known}",
+                             token)
+        return OpVariance(op) if variance else OpCount(op)
+
+    def parse_action(self) -> Action:
+        name = self.expect("IDENT").value
+        capacity = None
+        if self.accept("("):
+            token = self.current
+            if token.kind == "NUMBER":
+                self.advance()
+                capacity = int(float(token.value))
+            elif token.kind == "IDENT" and token.value == CAPACITY_MAX_SIZE:
+                self.advance()
+                capacity = CAPACITY_MAX_SIZE
+            else:
+                raise ParseError("capacity must be an integer or 'maxSize'",
+                                 token)
+            self.expect(")")
+        kind = _ADVICE_ACTIONS.get(name)
+        if kind is ActionKind.SET_CAPACITY:
+            if capacity is None:
+                raise ParseError("setCapacity requires a capacity argument",
+                                 self.current)
+            return Action(kind, capacity=capacity)
+        if kind is not None:
+            if capacity is not None:
+                raise ParseError(f"{name} takes no capacity", self.current)
+            return Action(kind)
+        return Action(ActionKind.REPLACE, impl_name=name, capacity=capacity)
+
+    # -- typing helpers -----------------------------------------------------
+    def _as_cond(self, node: Union[Expr, Condition]) -> Condition:
+        if not isinstance(node, Condition):
+            raise ParseError("expected a boolean operand", self.current)
+        return node
+
+    def _as_expr(self, node: Union[Expr, Condition]) -> Expr:
+        if not isinstance(node, Expr):
+            raise ParseError("expected an arithmetic operand", self.current)
+        return node
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule string into its AST."""
+    return _Parser(text).parse_rule()
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a bare condition (testing/inspection convenience)."""
+    return _Parser(text).parse_bare_condition()

@@ -1,0 +1,126 @@
+"""Suggestion records: what the rule engine tells the programmer (or the
+automatic applier) about each allocation context.
+
+A suggestion carries the matched context, the fired rule's category and
+message (Table 2's "Category: Message" column), the resolved action, and
+the context's saving potential.  Rendering follows the succinct format of
+section 2.1::
+
+    1: HashMap:tvla.util.HashMapFactory:31;tvla.core.base.BaseTVS:50
+       replace with ArrayMap
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.collections.base import CollectionKind
+from repro.profiler.report import ContextProfile
+from repro.rules.ast import Action, ActionKind, Rule
+from repro.runtime.vm import ImplementationChoice
+
+__all__ = ["RuleCategory", "Suggestion", "LAZY_IMPL_BY_KIND"]
+
+
+class RuleCategory(enum.Enum):
+    """Which resource a rule targets (Table 2's Category column)."""
+
+    TIME = "Time"
+    SPACE = "Space"
+    SPACE_TIME = "Space/Time"
+
+
+LAZY_IMPL_BY_KIND = {
+    CollectionKind.LIST: "LazyArrayList",
+    CollectionKind.SET: "LazySet",
+    CollectionKind.MAP: "LazyMap",
+}
+"""Lazy implementation used to auto-apply avoid-allocation advice: the
+collection cannot be deleted by a tool, but deferring its internals
+realises most of the saving automatically."""
+
+
+@dataclass
+class Suggestion:
+    """One fired rule at one allocation context."""
+
+    profile: ContextProfile
+    rule: Rule
+    action: Action
+    category: RuleCategory
+    message: str
+    resolved_capacity: Optional[int] = None
+    secondary: List["Suggestion"] = field(default_factory=list)
+
+    @property
+    def context_id(self) -> int:
+        """The allocation context this suggestion targets."""
+        return self.profile.context_id
+
+    @property
+    def potential_bytes(self) -> int:
+        """The context's aggregate space-saving potential."""
+        return self.profile.total_potential
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def to_choice(self) -> Optional[ImplementationChoice]:
+        """The replacement-policy entry this suggestion induces.
+
+        Replacements map directly; capacity advice maps to a capacity-only
+        choice; avoid-allocation advice is auto-applied as the kind's lazy
+        implementation.  Purely manual advice (eliminate temporaries,
+        shared empty iterators) returns ``None`` -- it needs a code change
+        the tool cannot make, as the paper notes for bloat's lazy fix.
+        """
+        kind = self.action.kind
+        if kind is ActionKind.REPLACE:
+            return ImplementationChoice(self.action.impl_name,
+                                        self.resolved_capacity)
+        if kind is ActionKind.SET_CAPACITY:
+            return ImplementationChoice(None, self.resolved_capacity)
+        if kind is ActionKind.AVOID_ALLOCATION:
+            if self.profile.kind is None:
+                return None
+            return ImplementationChoice(LAZY_IMPL_BY_KIND[self.profile.kind])
+        return None
+
+    @property
+    def auto_applicable(self) -> bool:
+        """Whether the tool can apply this suggestion by itself."""
+        return self.to_choice() is not None
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view of this suggestion."""
+        return {
+            "context": self.profile.render_context(),
+            "srcType": self.profile.src_type,
+            "rule": self.rule.render(),
+            "category": self.category.value,
+            "message": self.message,
+            "action": self.action.kind.value,
+            "implementation": self.action.impl_name,
+            "capacity": self.resolved_capacity,
+            "autoApplicable": self.auto_applicable,
+            "potentialBytes": self.potential_bytes,
+            "secondary": [s.action.render() for s in self.secondary],
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, rank: Optional[int] = None) -> str:
+        """Section 2.1's succinct per-context message."""
+        prefix = f"{rank}: " if rank is not None else ""
+        action = self.action.render()
+        if (self.action.kind is ActionKind.SET_CAPACITY
+                and self.resolved_capacity is not None):
+            action = f"set initial capacity ({self.resolved_capacity})"
+        return (f"{prefix}{self.profile.render_context()} {action}  "
+                f"[{self.category.value}] {self.message}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Suggestion ctx={self.context_id} {self.action.render()}>"

@@ -1,0 +1,121 @@
+"""bloat-like workload: a spike of empty LinkedLists dominating footprint.
+
+Section 5.3 signature being reproduced:
+
+* "bloat's footprint is dominated by a spike of collections (at GC#656),
+  where the true required space for the collections is significantly
+  lower" -- the run has three phases: a steady build-up, an *analysis
+  spike* that temporarily pins a large wave of CFG nodes, and a tail
+  after the wave is released.  Fig. 8 is the resulting per-cycle
+  collection-fraction series.
+* "most of the LinkedLists allocated at that context remained empty and
+  were never used.  Around 25% of the heap at that point of execution was
+  consumed by LinkedList$Entry objects that are allocated as the head of
+  an empty linked list" -- every spike node eagerly allocates four
+  handler LinkedLists (one allocation context) that nothing ever touches;
+  each carries its 24-byte sentinel entry.
+* "More than 20% of space can be saved by making the lists into
+  LazyArrayLists, but a simple manual modification can make the
+  allocation itself lazy, which reduces the minimal-heap size by 56%" --
+  the tool's automatic fix replaces the lists (dropping sentinels and
+  backing storage); ``manual_fixes=True`` skips allocating them at all.
+"""
+
+from __future__ import annotations
+
+from repro.collections.wrappers import ChameleonList
+from repro.runtime.vm import RuntimeEnvironment
+from repro.workloads.base import Workload
+
+__all__ = ["BloatWorkload"]
+
+
+class BloatWorkload(Workload):
+    """CFG-analysis workload with an empty-LinkedList footprint spike."""
+
+    name = "bloat"
+
+    def __init__(self, seed: int = 2009, scale: float = 1.0,
+                 manual_fixes: bool = False) -> None:
+        super().__init__(seed, scale, manual_fixes)
+        self.base_methods = self.scaled(40)
+        self.spike_methods = self.scaled(160)
+        self.nodes_per_method = 12
+        self.tail_methods = self.scaled(30)
+
+    # ------------------------------------------------------------------
+    # Allocation contexts
+    # ------------------------------------------------------------------
+    def _alloc_handler_lists(self, vm) -> list:
+        """The spike context: four eagerly allocated, never-touched
+        exception/def/use/phi handler lists per CFG node."""
+        return [ChameleonList(vm, src_type="LinkedList") for _ in range(4)]
+
+    def _alloc_instruction_list(self, vm) -> ChameleonList:
+        """A normally used per-node instruction list (separate context)."""
+        return ChameleonList(vm, src_type="ArrayList", initial_capacity=4)
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self, vm: RuntimeEnvironment) -> None:
+        rng = self.rng()
+
+        def build_node(holder, with_handlers: bool):
+            record = vm.allocate_data("CfgNode", ref_fields=6, int_fields=4)
+            holder.add_ref(record.obj_id)
+            instr_a = vm.allocate_data("Instruction", int_fields=2)
+            instr_b = vm.allocate_data("Instruction", int_fields=2)
+            record.add_ref(instr_a.obj_id)
+            record.add_ref(instr_b.obj_id)
+            instructions = self._alloc_instruction_list(vm)
+            record.add_ref(instructions.heap_obj.obj_id)
+            instructions.add(instr_a)
+            instructions.add(instr_b)
+            if with_handlers and not self.manual_fixes:
+                for handler_list in self._alloc_handler_lists(vm):
+                    record.add_ref(handler_list.heap_obj.obj_id)
+            return record, instructions
+
+        def build_method(holder, nodes: int, with_handlers: bool):
+            method = vm.allocate_data("MethodEditor", ref_fields=4)
+            holder.add_ref(method.obj_id)
+            node_records = []
+            for _ in range(nodes):
+                record, instructions = build_node(holder, with_handlers)
+                method.add_ref(record.obj_id)
+                node_records.append((record, instructions))
+            # A visitation pass over the method's instructions, plus the
+            # analysis work itself (dataflow over the CFG) -- the mutator
+            # time that keeps collection-allocation capture from being
+            # the whole story in online mode.
+            for record, instructions in node_records:
+                for i in range(len(instructions)):
+                    instructions.get(i)
+                vm.charge(700)
+            return method
+
+        # Phase 1: steady build-up of the base program representation
+        # (plain IR, no analysis-time handler lists).
+        base_holder = vm.allocate_data("ClassHierarchy", ref_fields=2)
+        vm.add_root(base_holder)
+        for _ in range(self.base_methods):
+            build_method(base_holder, self.nodes_per_method,
+                         with_handlers=False)
+
+        # Phase 2: the analysis spike -- a large wave of freshly edited
+        # methods pinned simultaneously (Fig. 8's peak).
+        spike_holder = vm.allocate_data("AnalysisWave", ref_fields=2)
+        vm.add_root(spike_holder)
+        for _ in range(self.spike_methods):
+            build_method(spike_holder, self.nodes_per_method,
+                         with_handlers=True)
+        vm.collect()  # observe the spike in the timeline
+
+        # Phase 3: the wave is released; the tail keeps allocating
+        # ordinary methods, so the collection fraction falls back down.
+        vm.remove_root(spike_holder)
+        vm.collect()
+        for _ in range(self.tail_methods):
+            build_method(base_holder, self.nodes_per_method,
+                         with_handlers=False)

@@ -1,0 +1,122 @@
+"""DaCapo-style control workloads: little to gain from collection tuning.
+
+Section 5.1: "Most of the DaCapo benchmarks do not make intensive use of
+collections, and hence our tool showed little potential saving for those."
+These controls verify the *negative* behaviour: Chameleon must not spray
+suggestions at programs whose heap is dominated by non-collection data or
+whose collections are already well-used.
+
+Three flavours are provided:
+
+* ``compress`` -- buffer-crunching: almost all live data is big primitive
+  arrays; the few collections are small and busy.
+* ``crypto`` -- compute-bound: heavy tick charges, modest allocation, one
+  well-sized reused map.
+* ``hsqldb`` -- uses its *own* collection classes, which the library-level
+  profiler cannot see (the paper explicitly skipped its potential for the
+  same reason); its custom rows register as plain data unless a custom
+  semantic map is supplied.
+"""
+
+from __future__ import annotations
+
+from repro.collections.wrappers import ChameleonList, ChameleonMap
+from repro.runtime.vm import RuntimeEnvironment
+from repro.workloads.base import Workload
+
+__all__ = ["DacapoCompressWorkload", "DacapoCryptoWorkload",
+           "DacapoHsqldbWorkload"]
+
+
+class DacapoCompressWorkload(Workload):
+    """Buffer-dominated control: heap is mostly ``byte[]`` payloads."""
+
+    name = "dacapo-compress"
+
+    def __init__(self, seed: int = 2009, scale: float = 1.0,
+                 manual_fixes: bool = False) -> None:
+        super().__init__(seed, scale, manual_fixes)
+        self.num_blocks = self.scaled(120)
+        self.block_bytes = 8 * 1024
+
+    def run(self, vm: RuntimeEnvironment) -> None:
+        root = vm.allocate_data("Compressor", ref_fields=4)
+        vm.add_root(root)
+        window = ChameleonList(vm, src_type="ArrayList", initial_capacity=8)
+        root.add_ref(window.heap_obj.obj_id)
+        for block_index in range(self.num_blocks):
+            block = vm.allocate("byte[]", self.block_bytes)
+            root.add_ref(block.obj_id)
+            window.add(block)
+            if len(window) > 8:
+                evicted = window.remove_first()
+                root.remove_ref(evicted.obj_id)
+            # Simulated compression work per block.
+            vm.charge(self.block_bytes // 4)
+
+
+class DacapoCryptoWorkload(Workload):
+    """Compute-bound control: ticks dwarf allocation."""
+
+    name = "dacapo-crypto"
+
+    def __init__(self, seed: int = 2009, scale: float = 1.0,
+                 manual_fixes: bool = False) -> None:
+        super().__init__(seed, scale, manual_fixes)
+        self.num_rounds = self.scaled(400)
+
+    def run(self, vm: RuntimeEnvironment) -> None:
+        root = vm.allocate_data("CipherSession", ref_fields=2)
+        vm.add_root(root)
+        session_keys = ChameleonMap(vm, src_type="HashMap",
+                                    initial_capacity=16)
+        root.add_ref(session_keys.heap_obj.obj_id)
+        key_records = []
+        for i in range(8):
+            key = vm.allocate_data("KeyMaterial", int_fields=8)
+            root.add_ref(key.obj_id)
+            key_records.append(key)
+            session_keys.put(key, i)
+        for round_index in range(self.num_rounds):
+            session_keys.get(key_records[round_index % len(key_records)])
+            vm.charge(2_000)  # the round function dominates
+
+
+class DacapoHsqldbWorkload(Workload):
+    """Custom-collection control: rows live in HSQLDB's own structures.
+
+    The row store is modelled as raw heap objects (``HsqlRowStore`` /
+    ``HsqlRow``) that the library-level profiler never sees.  Registering
+    a custom semantic map for ``HsqlRowStore`` (see
+    ``tests/memory/test_custom_semantic_maps.py``) makes the collector
+    attribute them -- the paper's "with very little manual effort in the
+    library, we can also profile such applications".
+    """
+
+    name = "dacapo-hsqldb"
+
+    def __init__(self, seed: int = 2009, scale: float = 1.0,
+                 manual_fixes: bool = False) -> None:
+        super().__init__(seed, scale, manual_fixes)
+        self.num_tables = self.scaled(6)
+        self.rows_per_table = self.scaled(300)
+
+    def run(self, vm: RuntimeEnvironment) -> None:
+        database = vm.allocate_data("Database", ref_fields=4)
+        vm.add_root(database)
+        for _ in range(self.num_tables):
+            # A custom row store: one header + an oversized slot array.
+            store = vm.allocate("HsqlRowStore",
+                                vm.model.object_size(ref_fields=2,
+                                                     int_fields=2))
+            database.add_ref(store.obj_id)
+            slots = vm.allocate(
+                "Object[]",
+                vm.model.ref_array_size(self.rows_per_table * 2))
+            store.add_ref(slots.obj_id)
+            for _ in range(self.rows_per_table):
+                row = vm.allocate("HsqlRow",
+                                  vm.model.object_size(ref_fields=3,
+                                                       int_fields=4))
+                slots.add_ref(row.obj_id)
+            vm.charge(self.rows_per_table * 3)

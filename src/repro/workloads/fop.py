@@ -1,0 +1,126 @@
+"""FOP-like workload: XSL-FO layout-tree construction.
+
+Section 5.3 signature being reproduced: "In FOP (v0.95), based on the tool
+recommendations, some HashMaps were replaced with ArrayMaps and initial
+sizes of other collections were tuned.  There was also one context that
+allocated collections that were never used (in
+InlineStackingLayoutManager).  The result is a 7.69% reduction in the
+minimal-heap size."
+
+Per layout node:
+
+* a small, stable property HashMap (ArrayMap target);
+* heavyweight area/text payload records (most of the heap -- the reason
+  FOP's saving is single-digit where TVLA's is ~50%);
+
+plus, per inline-stacking manager, an eagerly allocated child-context
+ArrayList that nothing ever touches (the never-used context, auto-fixed
+through the avoid-allocation advice as a lazy list) and a tuned-capacity
+pending-break list.
+"""
+
+from __future__ import annotations
+
+from repro.collections.wrappers import ChameleonList, ChameleonMap
+from repro.runtime.vm import RuntimeEnvironment
+from repro.workloads.base import Workload
+
+__all__ = ["FopWorkload"]
+
+
+class FopWorkload(Workload):
+    """Layout-engine workload with one never-used collection context."""
+
+    name = "fop"
+
+    def __init__(self, seed: int = 2009, scale: float = 1.0,
+                 manual_fixes: bool = False) -> None:
+        super().__init__(seed, scale, manual_fixes)
+        self.num_pages = self.scaled(30)
+        self.nodes_per_page = 20
+        self.properties_per_node = 4
+        self.breaks_per_manager = 12
+
+    # ------------------------------------------------------------------
+    # Allocation contexts
+    # ------------------------------------------------------------------
+    def _make_property_map(self, vm) -> ChameleonMap:
+        """Small per-node property map (ArrayMap target)."""
+        impl = "ArrayMap" if self.manual_fixes else None
+        return ChameleonMap(vm, src_type="HashMap", impl=impl)
+
+    def _make_child_contexts(self, vm) -> ChameleonList:
+        """InlineStackingLayoutManager's never-used child-context list."""
+        impl = "LazyArrayList" if self.manual_fixes else None
+        return ChameleonList(vm, src_type="ArrayList", impl=impl)
+
+    def _make_pending_breaks(self, vm) -> ChameleonList:
+        """Pending-break accumulator (set-initial-capacity target)."""
+        capacity = self.breaks_per_manager if self.manual_fixes else None
+        return ChameleonList(vm, src_type="ArrayList",
+                             initial_capacity=capacity)
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self, vm: RuntimeEnvironment) -> None:
+        document = vm.allocate_data("AreaTree", ref_fields=4)
+        vm.add_root(document)
+
+        property_names = []
+        for i in range(self.properties_per_node + 2):
+            name = vm.allocate_data("PropertyName", ref_fields=1)
+            document.add_ref(name.obj_id)
+            property_names.append(name)
+
+        for page_index in range(self.num_pages):
+            page = vm.allocate_data("PageViewport", ref_fields=8,
+                                    int_fields=8)
+            document.add_ref(page.obj_id)
+            image = vm.allocate("byte[]", 16 * 1024)
+            page.add_ref(image.obj_id)
+
+            manager = vm.allocate_data("InlineStackingLayoutManager",
+                                       ref_fields=6, int_fields=4)
+            page.add_ref(manager.obj_id)
+            pending = self._make_pending_breaks(vm)
+            manager.add_ref(pending.heap_obj.obj_id)
+
+            for node_index in range(self.nodes_per_page):
+                node = vm.allocate_data("InlineArea", ref_fields=10,
+                                        int_fields=12)
+                page.add_ref(node.obj_id)
+                # Text payload: the bulk of FOP's live data.
+                for _ in range(2):
+                    text = vm.allocate_data("TextArea", ref_fields=4,
+                                            int_fields=40)
+                    node.add_ref(text.obj_id)
+                vm.charge(150)  # line-breaking computation
+
+                properties = self._make_property_map(vm)
+                node.add_ref(properties.heap_obj.obj_id)
+                for i in range(self.properties_per_node):
+                    properties.put(property_names[i],
+                                   page_index * 100 + node_index + i)
+                for i in range(self.properties_per_node):
+                    properties.get(property_names[i])
+
+                if node_index % 4 == 0:
+                    # One inline-stacking manager per run of inline
+                    # areas, each eagerly allocating a child-context list
+                    # that nothing ever touches (the never-used context).
+                    stacker = vm.allocate_data(
+                        "InlineStackingLayoutManager",
+                        ref_fields=6, int_fields=4)
+                    node.add_ref(stacker.obj_id)
+                    child_contexts = self._make_child_contexts(vm)
+                    stacker.add_ref(child_contexts.heap_obj.obj_id)
+
+                if node_index % 2 == 0:
+                    brk = vm.allocate_data("BreakPossibility",
+                                           int_fields=4)
+                    pending.add(brk)
+
+            # Layout pass: replay pending breaks for the page.
+            for i in range(len(pending)):
+                pending.get(i)

@@ -1,0 +1,164 @@
+"""Declarative synthetic workloads: one collection context per spec.
+
+The six named workloads reproduce the paper's benchmarks; this module
+generates *arbitrary* collection-usage patterns from a declarative
+description, which is what the property-based end-to-end tests fuzz the
+whole tool with: for any combination of contexts -- types, sizes,
+operation mixes, lifetimes -- the tool's suggestions must be *sound*
+(applying them never corrupts behaviour and does not regress footprint).
+
+A :class:`ContextSpec` describes one allocation context; a
+:class:`SyntheticWorkload` executes a list of them deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.collections.wrappers import (ChameleonList, ChameleonMap,
+                                        ChameleonSet)
+from repro.runtime.context import ContextKey
+from repro.runtime.vm import RuntimeEnvironment
+from repro.workloads.base import Workload
+
+__all__ = ["ContextSpec", "SyntheticWorkload"]
+
+
+@dataclass(frozen=True)
+class ContextSpec:
+    """One allocation context's usage pattern.
+
+    Attributes:
+        name: Context label (becomes the synthetic allocation context).
+        src_type: Program-visible collection type (``"HashMap"``,
+            ``"ArrayList"``, ``"LinkedList"``, ``"HashSet"``).
+        instances: How many collections the context allocates.
+        sizes: Element counts, cycled across instances (``[0]`` for
+            always-empty contexts, ``[5]`` for stable, ``[2, 400]`` for
+            wild mixes).
+        initial_capacity: Explicit requested capacity, or ``None``.
+        reads_per_element: ``get``/``contains`` traffic after filling.
+        indexed_reads: For lists: whether reads use ``get(i)``.
+        removals: Elements removed again after filling.
+        iterations: Iterator creations per instance.
+        long_lived: Pinned until end of run (else dies mid-run).
+    """
+
+    name: str
+    src_type: str = "HashMap"
+    instances: int = 8
+    sizes: Sequence[int] = (4,)
+    initial_capacity: Optional[int] = None
+    reads_per_element: int = 2
+    indexed_reads: bool = False
+    removals: int = 0
+    iterations: int = 0
+    long_lived: bool = True
+
+    def size_for(self, index: int) -> int:
+        """The element count for the ``index``-th instance."""
+        return self.sizes[index % len(self.sizes)]
+
+
+class SyntheticWorkload(Workload):
+    """Executes a list of :class:`ContextSpec` patterns deterministically."""
+
+    name = "synthetic"
+
+    def __init__(self, specs: Sequence[ContextSpec], seed: int = 2009,
+                 scale: float = 1.0, manual_fixes: bool = False) -> None:
+        super().__init__(seed, scale, manual_fixes)
+        if not specs:
+            raise ValueError("need at least one context spec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("context spec names must be unique")
+        self.specs = list(specs)
+        #: Filled per run: spec name -> list of per-instance final
+        #: contents, for behavioural equivalence checks across policies.
+        self.observed: dict = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, vm: RuntimeEnvironment) -> None:
+        self.observed = {}
+        anchor = vm.allocate_data("SyntheticRoot", ref_fields=2)
+        vm.add_root(anchor)
+        transient_pool: List = []
+        for spec in self.specs:
+            self.observed[spec.name] = [
+                self._run_instance(vm, anchor, spec, index, transient_pool)
+                for index in range(spec.instances)]
+        # Give short-lived instances a chance to die and be aggregated.
+        for collection in transient_pool:
+            collection.unpin()
+        vm.collect()
+
+    def _run_instance(self, vm, anchor, spec: ContextSpec, index: int,
+                      transient_pool: List):
+        key = ContextKey.synthetic(spec.name, "synthetic.run")
+        collection = self._allocate(vm, spec, key)
+        if spec.long_lived:
+            anchor.add_ref(collection.heap_obj.obj_id)
+        else:
+            collection.pin()
+            transient_pool.append(collection)
+        size = spec.size_for(index)
+        self._fill(collection, spec, size)
+        self._read(collection, spec, size)
+        for _ in range(spec.iterations):
+            list(collection.iterate()
+                 if not isinstance(collection, ChameleonMap)
+                 else collection.iterate_keys())
+        self._remove(collection, spec, size)
+        return self._contents(collection)
+
+    def _allocate(self, vm, spec: ContextSpec, key: ContextKey):
+        if spec.src_type in ("HashMap", "LinkedHashMap", "Map"):
+            return ChameleonMap(vm, src_type=spec.src_type, context=key,
+                                initial_capacity=spec.initial_capacity)
+        if spec.src_type in ("HashSet", "LinkedHashSet", "Set"):
+            return ChameleonSet(vm, src_type=spec.src_type, context=key,
+                                initial_capacity=spec.initial_capacity)
+        return ChameleonList(vm, src_type=spec.src_type, context=key,
+                             initial_capacity=spec.initial_capacity)
+
+    @staticmethod
+    def _fill(collection, spec: ContextSpec, size: int) -> None:
+        if isinstance(collection, ChameleonMap):
+            for element in range(size):
+                collection.put(element, element * 10)
+        else:
+            for element in range(size):
+                collection.add(element)
+
+    @staticmethod
+    def _read(collection, spec: ContextSpec, size: int) -> None:
+        for _ in range(spec.reads_per_element):
+            for element in range(size):
+                if isinstance(collection, ChameleonMap):
+                    collection.get(element)
+                elif isinstance(collection, ChameleonSet):
+                    collection.contains(element)
+                elif spec.indexed_reads:
+                    collection.get(element)
+                else:
+                    collection.contains(element)
+
+    @staticmethod
+    def _remove(collection, spec: ContextSpec, size: int) -> None:
+        for element in range(min(spec.removals, size)):
+            if isinstance(collection, ChameleonMap):
+                collection.remove_key(element)
+            elif isinstance(collection, ChameleonSet):
+                collection.remove_value(element)
+            else:
+                collection.remove_value(element)
+
+    @staticmethod
+    def _contents(collection):
+        if isinstance(collection, ChameleonMap):
+            return sorted(collection.snapshot_items())
+        return sorted(collection.snapshot())

@@ -1,0 +1,72 @@
+"""Experiment runners (smoke tests at tiny scale; shape assertions live in
+benchmarks/)."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.tables import ExperimentRow, format_pct, render_series, render_table
+
+SCALE = 0.12
+
+
+class TestTables:
+    def test_format_pct(self):
+        assert format_pct(0.525) == "52.5%"
+        assert format_pct(None) == "n/a"
+
+    def test_render_table(self):
+        rows = [ExperimentRow("tvla", "min-heap saved", 0.5395, 0.52),
+                ExperimentRow("tvla", "speedup", 2.58, 2.2, unit="x"),
+                ExperimentRow("fop", "count", None, 3.0, unit="")]
+        text = render_table("Fig. X", rows)
+        assert "53.9%" in text and "52.0%" in text
+        assert "2.58x" in text and "2.20x" in text
+        assert "n/a" in text
+
+    def test_render_series(self):
+        text = render_series("S", ("a", "b"), [(1, 0.5), (2, 0.25)])
+        assert "0.500" in text and "0.250" in text
+
+
+class TestRunners:
+    def test_fig2_series_shape(self):
+        result = experiments.run_fig2(scale=SCALE,
+                                      gc_threshold_bytes=24 * 1024)
+        assert len(result.series) >= 3
+        for _, live, used, core in result.series:
+            assert 0.0 <= core <= used <= live <= 1.0
+        assert result.peak_live_fraction > result.peak_used_fraction
+        assert "cycle" in result.render()
+
+    def test_fig3_top_contexts(self):
+        result = experiments.run_fig3(scale=SCALE, top=4)
+        assert len(result.top) == 4
+        assert "potential" in result.rendered
+
+    def test_fig8_spike(self):
+        result = experiments.run_fig8(scale=SCALE,
+                                      gc_threshold_bytes=24 * 1024)
+        assert result.spike_cycle >= 1
+        assert 0 < result.spike_fraction <= 1.0
+        assert "spike" in result.render()
+
+    def test_hybrid_ablation_rows(self):
+        result = experiments.run_hybrid_ablation(scale=SCALE,
+                                                 thresholds=(4, 16))
+        labels = [label for label, _, _ in result.rows]
+        assert labels[0] == "HashMap (original)"
+        assert "SizeAdapting@16" in labels
+        assert result.peak("ArrayMap (offline fix)") < result.peak(
+            "HashMap (original)")
+
+    def test_online_runner_rows(self):
+        from repro.workloads import TvlaWorkload
+        result = experiments.run_online(scale=SCALE,
+                                        benchmarks=[TvlaWorkload])
+        assert result.slowdown("tvla") > 1.0
+        assert "online slowdown" in result.render()
+
+    def test_paper_reference_values_present(self):
+        assert experiments.PAPER_FIG6["tvla"] == pytest.approx(0.5395)
+        assert experiments.PAPER_FIG7["pmd"] == pytest.approx(1.083)
+        assert experiments.PAPER_ONLINE["pmd"] == 6.0

@@ -1,0 +1,77 @@
+"""Table / series / chart rendering."""
+
+import pytest
+
+from repro.analysis.tables import (ExperimentRow, format_pct,
+                                   render_fraction_chart, render_series,
+                                   render_table)
+
+
+class TestFormatPct:
+    def test_values(self):
+        assert format_pct(0.0) == "0.0%"
+        assert format_pct(1.0) == "100.0%"
+        assert format_pct(None) == "n/a"
+
+
+class TestExperimentRow:
+    def test_percent_unit(self):
+        row = ExperimentRow("b", "m", 0.5, 0.52)
+        assert row.render_values() == ("50.0%", "52.0%")
+
+    def test_speedup_unit(self):
+        row = ExperimentRow("b", "m", 2.5, 2.42, unit="x")
+        assert row.render_values() == ("2.50x", "2.42x")
+
+    def test_raw_unit(self):
+        row = ExperimentRow("b", "m", None, 7, unit="")
+        assert row.render_values() == ("n/a", "7")
+
+
+class TestRenderFractionChart:
+    def test_bar_segments_are_nested(self):
+        text = render_fraction_chart([(1, 0.8, 0.5, 0.2)], width=20)
+        bar_line = next(line for line in text.splitlines()
+                        if line.strip().startswith("1"))
+        bar = bar_line.split("|")[1]
+        assert bar.count("#") == 4    # 0.2 * 20
+        assert bar.count("=") == 6    # (0.5 - 0.2) * 20
+        assert bar.count("-") == 6    # (0.8 - 0.5) * 20
+
+    def test_clamps_out_of_range(self):
+        text = render_fraction_chart([(1, 1.4, -0.2, 0.5)], width=10)
+        bar = next(line for line in text.splitlines()
+                   if line.strip().startswith("1")).split("|")[1]
+        assert len(bar) == 10
+        assert bar == "-" * 10  # live clamped to 1, used to 0
+
+    def test_legend_and_axes(self):
+        text = render_fraction_chart([(1, 0.5, 0.3, 0.1)])
+        assert "0%" in text and "100%" in text
+        assert "# core" in text
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_fraction_chart([], width=4)
+
+    def test_empty_series(self):
+        text = render_fraction_chart([])
+        assert "cycle" in text
+
+
+class TestRenderTable:
+    def test_note_column(self):
+        text = render_table("T", [ExperimentRow("b", "m", None, 1.0,
+                                                note="hello")])
+        assert "hello" in text
+        assert text.splitlines()[0] == "T"
+
+
+class TestRenderSeries:
+    def test_floats_formatted(self):
+        text = render_series("S", ("a",), [(0.123456,)])
+        assert "0.123" in text
+
+    def test_mixed_types(self):
+        text = render_series("S", ("n", "f"), [(3, 0.5)])
+        assert "3" in text and "0.500" in text

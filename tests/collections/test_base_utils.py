@@ -1,0 +1,113 @@
+"""Element semantics and the box pool."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.collections.base import (BoxPool, element_hash, element_key,
+                                    values_equal)
+from repro.runtime.vm import RuntimeEnvironment
+
+
+@pytest.fixture
+def fresh_vm():
+    return RuntimeEnvironment(gc_threshold_bytes=None)
+
+
+class TestElementKey:
+    def test_heap_objects_key_by_identity(self, fresh_vm):
+        a = fresh_vm.allocate_data("R")
+        b = fresh_vm.allocate_data("R")
+        assert element_key(a) != element_key(b)
+        assert element_key(a) == element_key(a)
+
+    def test_primitives_key_by_type_and_value(self):
+        assert element_key(1) == element_key(1)
+        assert element_key(1) != element_key(1.0)
+        assert element_key(1) != element_key(True)  # Integer vs Boolean
+        assert element_key("a") != element_key(1)
+
+
+class TestValuesEqual:
+    def test_identity_for_heap_objects(self, fresh_vm):
+        a = fresh_vm.allocate_data("R")
+        b = fresh_vm.allocate_data("R")
+        assert values_equal(a, a)
+        assert not values_equal(a, b)
+        assert not values_equal(a, 1)
+
+    def test_value_equality_for_primitives(self):
+        assert values_equal(3, 3)
+        assert not values_equal(3, 4)
+        assert not values_equal(3, 3.0)  # distinct boxed types
+        assert not values_equal(1, True)
+
+    @given(st.integers(), st.integers())
+    def test_matches_python_for_ints(self, a, b):
+        assert values_equal(a, b) == (a == b)
+
+
+class TestElementHash:
+    def test_equal_values_hash_equal(self):
+        assert element_hash(7) == element_hash(7)
+        assert element_hash("x") == element_hash("x")
+
+    def test_hash_is_31_bit(self, fresh_vm):
+        obj = fresh_vm.allocate_data("R")
+        for value in (obj, 123456789, "text", -5):
+            assert 0 <= element_hash(value) < 2 ** 31
+
+    def test_identity_hash_for_heap_objects(self, fresh_vm):
+        a = fresh_vm.allocate_data("R")
+        b = fresh_vm.allocate_data("R")
+        assert element_hash(a) != element_hash(b)
+
+
+class TestBoxPool:
+    def test_heap_objects_pass_through(self, fresh_vm):
+        pool = BoxPool(fresh_vm)
+        record = fresh_vm.allocate_data("R")
+        assert pool.ref_for(record) == record.obj_id
+        assert pool.release(record) == record.obj_id
+        assert pool.box_count == 0
+
+    def test_primitive_boxing_is_refcounted(self, fresh_vm):
+        pool = BoxPool(fresh_vm)
+        first = pool.ref_for(42)
+        second = pool.ref_for(42)
+        assert first == second  # one box per distinct value
+        assert pool.box_count == 1
+        assert pool.release(42) == first
+        assert pool.box_count == 1  # one occurrence left
+        assert pool.release(42) == first
+        assert pool.box_count == 0
+
+    def test_distinct_values_get_distinct_boxes(self, fresh_vm):
+        pool = BoxPool(fresh_vm)
+        assert pool.ref_for(1) != pool.ref_for(2)
+        assert pool.box_count == 2
+
+    def test_box_is_a_real_heap_object(self, fresh_vm):
+        pool = BoxPool(fresh_vm)
+        box_id = pool.ref_for(5)
+        box = fresh_vm.heap.get(box_id)
+        assert box.type_name == "Box"
+        assert box.size == fresh_vm.model.box_size()
+
+    def test_release_unknown_value_raises(self, fresh_vm):
+        pool = BoxPool(fresh_vm)
+        with pytest.raises(KeyError):
+            pool.release(99)
+
+    def test_peek_does_not_change_counts(self, fresh_vm):
+        pool = BoxPool(fresh_vm)
+        assert pool.peek(7) is None
+        box_id = pool.ref_for(7)
+        assert pool.peek(7) == box_id
+        assert pool.box_count == 1
+
+    def test_reboxing_after_full_release(self, fresh_vm):
+        pool = BoxPool(fresh_vm)
+        first = pool.ref_for(9)
+        pool.release(9)
+        second = pool.ref_for(9)
+        assert first != second  # a fresh box, the old one is garbage

@@ -1,0 +1,88 @@
+"""The hash-backed list adapter (LinkedHashSet backing a List)."""
+
+import pytest
+
+from repro.collections.base import UnsupportedOperation
+from repro.collections.hashed_list import HashBackedListImpl
+from repro.collections.lists import ArrayListImpl
+
+
+class TestSemantics:
+    def test_insertion_order_preserved(self, vm):
+        lst = HashBackedListImpl(vm)
+        for value in (5, 3, 9):
+            lst.add(value)
+        assert lst.peek_values() == [5, 3, 9]
+        assert list(lst.iter_values()) == [5, 3, 9]
+
+    def test_duplicates_dropped(self, vm):
+        """The set-backed list deduplicates -- the semantic change the
+        rule only allows for add/contains/iterate usage."""
+        lst = HashBackedListImpl(vm)
+        lst.add("a")
+        lst.add("a")
+        assert lst.size == 1
+
+    def test_positional_reads(self, vm):
+        lst = HashBackedListImpl(vm)
+        for value in "abc":
+            lst.add(value)
+        assert lst.get(0) == "a"
+        assert lst.get(2) == "c"
+        with pytest.raises(IndexError):
+            lst.get(3)
+
+    def test_index_of(self, vm):
+        lst = HashBackedListImpl(vm)
+        for value in "abc":
+            lst.add(value)
+        assert lst.index_of("b") == 1
+        assert lst.index_of("z") == -1
+
+    def test_removals(self, vm):
+        lst = HashBackedListImpl(vm)
+        for value in "abc":
+            lst.add(value)
+        assert lst.remove_at(1) == "b"
+        assert lst.remove_value("c")
+        assert not lst.remove_value("c")
+        assert lst.peek_values() == ["a"]
+
+    def test_positional_mutation_unsupported(self, vm):
+        lst = HashBackedListImpl(vm)
+        lst.add("a")
+        with pytest.raises(UnsupportedOperation):
+            lst.add_at(0, "x")
+        with pytest.raises(UnsupportedOperation):
+            lst.set_at(0, "x")
+
+    def test_clear(self, vm):
+        lst = HashBackedListImpl(vm)
+        lst.add(1)
+        lst.clear()
+        assert lst.size == 0
+
+
+class TestWhyTheRuleFires:
+    def test_contains_beats_array_list_at_size(self, vm):
+        """Table 2 rule 1: heavy contains on a large list is better
+        served by the hash-backed implementation."""
+        array_list = ArrayListImpl(vm)
+        hashed = HashBackedListImpl(vm)
+        for i in range(200):
+            array_list.add(i)
+            hashed.add(i)
+        start = vm.now
+        array_list.contains(199)
+        scan_cost = vm.now - start
+        start = vm.now
+        hashed.contains(199)
+        hash_cost = vm.now - start
+        assert hash_cost < scan_cost
+
+    def test_footprint_invariant(self, vm):
+        lst = HashBackedListImpl(vm)
+        for i in range(40):
+            lst.add(i)
+            triple = lst.adt_footprint()
+            assert triple.live >= triple.used >= triple.core >= 0

@@ -1,0 +1,97 @@
+"""The shared chained hash-table engine."""
+
+import pytest
+
+from repro.collections.hashing import HashTableEngine, next_power_of_two
+from repro.collections.maps import HashMapImpl
+from repro.collections.sets import HashSetImpl
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 1), (1, 1), (2, 2), (3, 4), (16, 16), (17, 32), (1000, 1024)])
+    def test_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+
+class TestEngineViaMap:
+    def test_capacity_rounds_to_power_of_two(self, vm):
+        assert HashMapImpl(vm, initial_capacity=20).capacity == 32
+        assert HashMapImpl(vm, initial_capacity=16).capacity == 16
+
+    def test_load_factor_resize_boundary(self, vm):
+        mapping = HashMapImpl(vm, initial_capacity=8)
+        for i in range(6):  # 6 == 8 * 0.75: at the threshold, no resize
+            mapping.put(i, i)
+        assert mapping.capacity == 8
+        mapping.put(6, 6)
+        assert mapping.capacity == 16
+
+    def test_entries_survive_resize(self, vm):
+        mapping = HashMapImpl(vm, initial_capacity=4)
+        expected = {i: i * 3 for i in range(40)}
+        for key, value in expected.items():
+            mapping.put(key, value)
+        assert dict(mapping.iter_items()) == expected
+
+    def test_chain_probing_costs_scale_with_collisions(self, vm):
+        """Many keys in one bucket make probes proportionally pricier --
+        the clustering the paper's open-addressing caveat is about."""
+        from repro.collections.base import element_hash
+
+        mapping = HashMapImpl(vm, initial_capacity=1024)
+        # Gather keys that genuinely land in one bucket of the 1024-slot
+        # table under mask indexing.
+        target = element_hash(0) & 1023
+        colliding, candidate = [], 0
+        while len(colliding) < 24:
+            if element_hash(candidate) & 1023 == target:
+                colliding.append(candidate)
+            candidate += 1
+        for key in colliding:
+            mapping.put(key, key)
+        start = vm.now
+        mapping.get(colliding[-1])
+        long_chain = vm.now - start
+        start = vm.now
+        mapping.get(colliding[0])
+        short_chain = vm.now - start
+        assert long_chain > short_chain
+
+    def test_clear_retains_table(self, vm):
+        mapping = HashMapImpl(vm, initial_capacity=32)
+        for i in range(10):
+            mapping.put(i, i)
+        mapping.clear()
+        assert mapping.capacity == 32
+        assert mapping.size == 0
+
+    def test_invalid_load_factor(self, vm):
+        with pytest.raises(ValueError):
+            HashTableEngine(HashSetImpl(vm), is_map=False, load_factor=0)
+
+
+class TestFootprintPieces:
+    def test_used_counts_occupied_slots_only(self, vm):
+        sparse = HashSetImpl(vm, initial_capacity=64)
+        sparse.add("one")
+        triple = sparse.adt_footprint()
+        # Slack is the 63 unoccupied slots.
+        expected_slack = (vm.model.ref_array_size(64)
+                          - vm.model.align(vm.model.array_header_bytes
+                                           + 1 * vm.model.pointer_bytes))
+        assert triple.slack == expected_slack
+
+    def test_linked_entries_are_heavier(self, vm):
+        plain = HashSetImpl(vm)
+        linked_engine = HashTableEngine(HashSetImpl(vm), is_map=False,
+                                        linked=True)
+        assert linked_engine.entry_size > plain._table.entry_size
+        assert linked_engine.entry_type_name == "LinkedHashMap$Entry"
+
+    def test_internal_ids_count(self, vm):
+        mapping = HashMapImpl(vm)
+        for i in range(5):
+            mapping.put(i, i)
+        internals = list(mapping.adt_internal_ids())
+        assert len(internals) == 6  # table + 5 entries

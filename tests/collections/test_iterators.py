@@ -1,0 +1,99 @@
+"""Iterator objects and the shared-empty-iterator optimisation."""
+
+import pytest
+
+from repro.collections.iterators import (CollectionIterator,
+                                         iterator_object_size, make_iterator)
+from repro.collections.wrappers import ChameleonList, ChameleonSet
+from repro.profiler.counters import Op
+
+
+class TestMakeIterator:
+    def test_allocates_one_iterator_object(self, vm):
+        before = vm.heap.total_allocated_objects
+        iterator = make_iterator(vm, iter([1, 2]), empty=False)
+        assert vm.heap.total_allocated_objects == before + 1
+        assert iterator.heap_obj.type_name == "Iterator"
+        assert iterator.heap_obj.size == iterator_object_size(vm)
+
+    def test_iteration_protocol(self, vm):
+        iterator = make_iterator(vm, iter("abc"), empty=False)
+        assert list(iterator) == ["a", "b", "c"]
+        assert iterator.returned == 3
+
+    def test_shared_empty_skips_allocation(self, vm):
+        before = vm.heap.total_allocated_objects
+        iterator = make_iterator(vm, iter(()), empty=True,
+                                 use_shared_empty=True)
+        assert vm.heap.total_allocated_objects == before
+        assert iterator.is_shared_empty
+        assert list(iterator) == []
+
+    def test_empty_without_optimisation_still_allocates(self, vm):
+        """Section 5.4: some interfaces require a fresh iterator even for
+        empty collections; the optimisation is opt-in."""
+        before = vm.heap.total_allocated_objects
+        iterator = make_iterator(vm, iter(()), empty=True,
+                                 use_shared_empty=False)
+        assert vm.heap.total_allocated_objects == before + 1
+        assert not iterator.is_shared_empty
+
+    def test_context_attributed(self, vm):
+        iterator = make_iterator(vm, iter([1]), empty=False, context_id=9)
+        assert iterator.heap_obj.context_id == 9
+
+
+class TestIteratorGarbage:
+    def test_iterators_die_at_gc(self, vm):
+        lst = ChameleonList(vm)
+        lst.pin()
+        lst.add(1)
+        for _ in range(10):
+            list(lst.iterate())
+        live_iterators = sum(1 for obj in vm.heap.objects()
+                             if obj.type_name == "Iterator")
+        assert live_iterators == 10
+        vm.collect()
+        live_iterators = sum(1 for obj in vm.heap.objects()
+                             if obj.type_name == "Iterator")
+        assert live_iterators == 0
+
+    def test_iteration_pressure_drives_gc(self):
+        """Massive iterator creation alone fills the young generation --
+        the paper's 'massive creation of iterator objects' observation."""
+        from repro.runtime.vm import RuntimeEnvironment
+
+        vm = RuntimeEnvironment(gc_threshold_bytes=8 * 1024)
+        lst = ChameleonList(vm)
+        lst.pin()
+        lst.add(1)
+        for _ in range(2000):
+            list(lst.iterate())
+        assert vm.gc.cycle_count >= 4
+
+
+class TestWrapperIntegration:
+    def test_set_iteration_records_ops(self, profiled_vm):
+        s = ChameleonSet(profiled_vm)
+        list(s.iterate())          # empty
+        s.add("x")
+        list(s.iterate())          # nonempty
+        info = s.object_info
+        assert info.count(Op.ITERATE) == 2
+        assert info.count(Op.ITER_EMPTY) == 1
+
+    def test_iteration_charges_traversal(self, vm):
+        lst = ChameleonList(vm)
+        for i in range(50):
+            lst.add(i)
+        before = vm.now
+        values = list(lst.iterate())
+        assert values == list(range(50))
+        assert vm.now - before >= 50  # at least one tick per element
+
+    def test_shared_empty_opt_in_via_wrapper(self, vm):
+        lst = ChameleonList(vm, use_shared_empty_iterator=True)
+        iterator = lst.iterate()
+        assert iterator.is_shared_empty
+        lst.add(1)
+        assert not lst.iterate().is_shared_empty

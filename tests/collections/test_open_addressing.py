@@ -1,0 +1,132 @@
+"""The open-addressing map and the paper's hash-quality caveat."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.collections.base import CollectionKind
+from repro.collections.maps import HashMapImpl
+from repro.collections.open_addressing import OpenAddressingMapImpl
+from repro.collections.registry import ImplementationRegistry
+from repro.runtime.vm import RuntimeEnvironment
+
+
+class TestSemantics:
+    def test_put_get_remove(self, vm):
+        mapping = OpenAddressingMapImpl(vm)
+        assert mapping.put("k", 1) is None
+        assert mapping.put("k", 2) == 1
+        assert mapping.get("k") == 2
+        assert mapping.contains_key("k")
+        assert mapping.remove_key("k") == 2
+        assert mapping.get("k") is None
+        assert mapping.size == 0
+
+    def test_tombstones_do_not_break_probe_chains(self, vm):
+        """Removing a key in the middle of a cluster must not hide keys
+        probed past it."""
+        from repro.collections.base import element_hash
+        mapping = OpenAddressingMapImpl(vm, initial_capacity=64)
+        target = element_hash(0) & 63
+        cluster = []
+        candidate = 0
+        while len(cluster) < 3:
+            if element_hash(candidate) & 63 == target:
+                cluster.append(candidate)
+            candidate += 1
+        for key in cluster:
+            mapping.put(key, key)
+        mapping.remove_key(cluster[0])
+        assert mapping.get(cluster[2]) == cluster[2]
+        # Reinsertion reuses the tombstone.
+        mapping.put(cluster[0], "back")
+        assert mapping.get(cluster[0]) == "back"
+
+    def test_resize_preserves_contents(self, vm):
+        mapping = OpenAddressingMapImpl(vm, initial_capacity=4)
+        expected = {i: i * 2 for i in range(40)}
+        for key, value in expected.items():
+            mapping.put(key, value)
+        assert dict(mapping.iter_items()) == expected
+        assert mapping.capacity >= 80  # load factor 0.5
+
+    def test_clear(self, vm):
+        mapping = OpenAddressingMapImpl(vm)
+        for i in range(5):
+            mapping.put(i, i)
+        mapping.clear()
+        assert mapping.size == 0
+        assert mapping.peek_items() == []
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(st.tuples(
+        st.sampled_from(["put", "remove", "get"]),
+        st.integers(-6, 6), st.integers(-6, 6)), max_size=40))
+    def test_matches_python_dict(self, ops):
+        vm = RuntimeEnvironment(gc_threshold_bytes=None)
+        mapping = OpenAddressingMapImpl(vm)
+        reference = {}
+        for name, key, value in ops:
+            if name == "put":
+                assert mapping.put(key, value) == reference.get(key)
+                reference[key] = value
+            elif name == "remove":
+                assert mapping.remove_key(key) == reference.pop(key, None)
+            else:
+                assert mapping.get(key) == reference.get(key)
+            triple = mapping.adt_footprint()
+            assert triple.live >= triple.used >= triple.core >= 0
+        assert dict(mapping.peek_items()) == reference
+
+
+class TestTheTroveTradeoff:
+    def test_no_entry_objects(self, vm):
+        mapping = OpenAddressingMapImpl(vm)
+        for i in range(6):
+            mapping.put(i, i)
+        internals = [vm.heap.get(i) for i in mapping.adt_internal_ids()]
+        assert [obj.type_name for obj in internals] == ["Object[]"]
+
+    def test_smaller_than_chained_map_at_size(self, vm):
+        chained = HashMapImpl(vm, initial_capacity=64)
+        open_map = OpenAddressingMapImpl(vm, initial_capacity=64)
+        for i in range(30):
+            chained.put(i, i)
+            open_map.put(i, i)
+        assert (open_map.adt_footprint().live
+                < chained.adt_footprint().live)
+
+    def test_degenerate_hash_is_disastrous_for_open_addressing(self, vm):
+        """The paper's caveat, measured: under a constant hash function
+        the open-addressing map degrades far more than the chained map
+        (whose chains at least stay bucket-local)."""
+        bad_hash = lambda value: 7
+
+        def lookup_cost(mapping):
+            start = vm.now
+            for key in range(80):
+                mapping.get(key)
+            return vm.now - start
+
+        open_map = OpenAddressingMapImpl(vm, initial_capacity=512,
+                                         hash_fn=bad_hash)
+        for i in range(80):
+            open_map.put(i, i)
+        good_map = OpenAddressingMapImpl(vm, initial_capacity=512)
+        for i in range(80):
+            good_map.put(i, i)
+
+        degenerate = lookup_cost(open_map)
+        healthy = lookup_cost(good_map)
+        assert degenerate > 5 * healthy
+
+    def test_registry_opt_in(self, vm):
+        """Not registered by default; a user can opt in (section 4.2)."""
+        from repro.collections.registry import default_registry
+        assert not default_registry().supports("OpenHashMap",
+                                               CollectionKind.MAP)
+        registry = ImplementationRegistry()
+        registry.register("OpenHashMap", OpenAddressingMapImpl,
+                          [CollectionKind.MAP])
+        impl = registry.create(vm, "OpenHashMap", CollectionKind.MAP)
+        assert isinstance(impl, OpenAddressingMapImpl)

@@ -1,0 +1,126 @@
+"""The primitive-array family ("Similar for other primitives")."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collections.base import CollectionKind
+from repro.collections.lists import ArrayListImpl
+from repro.collections.primitive_arrays import (BoolArrayImpl,
+                                                DoubleArrayImpl,
+                                                LongArrayImpl,
+                                                make_primitive_array_impl)
+from repro.collections.registry import default_registry
+from repro.runtime.vm import RuntimeEnvironment
+
+
+class TestFamilyMembers:
+    def test_long_array_stores_ints(self, vm):
+        arr = LongArrayImpl(vm)
+        arr.add(1 << 40)
+        assert arr.get(0) == 1 << 40
+        with pytest.raises(TypeError):
+            arr.add(1.5)
+        with pytest.raises(TypeError):
+            arr.add(True)
+
+    def test_double_array_stores_reals(self, vm):
+        arr = DoubleArrayImpl(vm)
+        arr.add(2.5)
+        arr.add(3)        # Integral is Real: stored as float
+        assert arr.peek_values() == [2.5, 3.0]
+        with pytest.raises(TypeError):
+            arr.add("text")
+
+    def test_bool_array(self, vm):
+        arr = BoolArrayImpl(vm)
+        arr.add(True)
+        arr.add(False)
+        assert arr.peek_values() == [True, False]
+        with pytest.raises(TypeError):
+            arr.add(1)
+
+    def test_slot_widths_drive_footprint(self, vm):
+        model = vm.model
+        wide = LongArrayImpl(vm, initial_capacity=16)
+        narrow = BoolArrayImpl(vm, initial_capacity=16)
+        assert (wide.adt_footprint().live - wide.anchor.size
+                == model.align(model.array_header_bytes + 16 * 8))
+        assert (narrow.adt_footprint().live - narrow.anchor.size
+                == model.align(model.array_header_bytes + 16 * 1))
+
+    def test_no_boxing(self, vm):
+        arr = DoubleArrayImpl(vm)
+        for i in range(10):
+            arr.add(float(i))
+        assert arr.boxes.box_count == 0
+
+    def test_unboxed_beats_boxed_list(self, vm):
+        boxed = ArrayListImpl(vm, initial_capacity=16)
+        unboxed = LongArrayImpl(vm, initial_capacity=16)
+        for i in range(16):
+            boxed.add(i)
+            unboxed.add(i)
+        boxed_total = (boxed.adt_footprint().live
+                       + boxed.boxes.box_count * vm.model.box_size())
+        assert unboxed.adt_footprint().live < boxed_total
+
+
+class TestListSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=st.lists(st.tuples(
+        st.sampled_from(["add", "remove", "set", "insert"]),
+        st.integers(-5, 5)), max_size=30))
+    def test_long_array_matches_python_list(self, ops):
+        vm = RuntimeEnvironment(gc_threshold_bytes=None)
+        arr = LongArrayImpl(vm)
+        reference = []
+        for name, value in ops:
+            if name == "add":
+                arr.add(value)
+                reference.append(value)
+            elif name == "remove" and reference:
+                index = abs(value) % len(reference)
+                assert arr.remove_at(index) == reference.pop(index)
+            elif name == "set" and reference:
+                index = abs(value) % len(reference)
+                assert arr.set_at(index, value) == reference[index]
+                reference[index] = value
+            elif name == "insert":
+                index = abs(value) % (len(reference) + 1)
+                arr.add_at(index, value)
+                reference.insert(index, value)
+            triple = arr.adt_footprint()
+            assert triple.live >= triple.used >= triple.core >= 0
+        assert arr.peek_values() == reference
+
+    def test_index_of_and_clear(self, vm):
+        arr = LongArrayImpl(vm)
+        for i in (5, 7, 9):
+            arr.add(i)
+        assert arr.index_of(7) == 1
+        assert arr.index_of(8) == -1
+        arr.clear()
+        assert arr.size == 0
+
+
+class TestFactory:
+    def test_custom_member(self, vm):
+        ShortArray = make_primitive_array_impl(
+            "ShortArray", 2,
+            lambda v: int(v) if -32768 <= int(v) < 32768 else
+            (_ for _ in ()).throw(TypeError("out of short range")))
+        arr = ShortArray(vm)
+        arr.add(100)
+        assert arr.get(0) == 100
+        assert arr.ARRAY_TYPE_NAME == "short[]"
+
+    def test_invalid_slot_width(self):
+        with pytest.raises(ValueError):
+            make_primitive_array_impl("X", 0, int)
+
+    def test_registered_in_default_registry(self, vm):
+        registry = default_registry()
+        for name in ("LongArray", "DoubleArray", "BoolArray"):
+            assert registry.supports(name, CollectionKind.LIST)
+        impl = registry.create(vm, "LongArray", CollectionKind.LIST)
+        assert impl.IMPL_NAME == "LongArray"

@@ -1,0 +1,185 @@
+"""Property-based conformance: every implementation must track the
+reference semantics of Python's list/set/dict under arbitrary operation
+sequences, and every footprint must satisfy live >= used >= core.
+
+This is the testable form of the paper's interchangeability requirement:
+"the different implementations have the same logical behavior"
+(section 1).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.collections.lists import (ArrayListImpl, LazyArrayListImpl,
+                                     LinkedListImpl)
+from repro.collections.maps import (ArrayMapImpl, HashMapImpl, LazyMapImpl,
+                                    LinkedHashMapImpl, SizeAdaptingMapImpl)
+from repro.collections.sets import (ArraySetImpl, HashSetImpl, LazySetImpl,
+                                    LinkedHashSetImpl, SizeAdaptingSetImpl)
+from repro.runtime.vm import RuntimeEnvironment
+
+_SETTINGS = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+_values = st.integers(min_value=-8, max_value=8)
+
+_list_ops = st.lists(st.one_of(
+    st.tuples(st.just("add"), _values),
+    st.tuples(st.just("add_at"), _values),
+    st.tuples(st.just("remove_at"), _values),
+    st.tuples(st.just("remove_value"), _values),
+    st.tuples(st.just("set_at"), _values),
+    st.tuples(st.just("get"), _values),
+    st.tuples(st.just("index_of"), _values),
+    st.tuples(st.just("clear"), _values),
+), max_size=40)
+
+
+def _fresh_vm():
+    return RuntimeEnvironment(gc_threshold_bytes=None)
+
+
+@pytest.mark.parametrize("impl_class",
+                         [ArrayListImpl, LazyArrayListImpl, LinkedListImpl])
+class TestListConformance:
+    @_SETTINGS
+    @given(ops=_list_ops)
+    def test_matches_python_list(self, impl_class, ops):
+        vm = _fresh_vm()
+        impl = impl_class(vm)
+        reference = []
+        for name, value in ops:
+            if name == "add":
+                impl.add(value)
+                reference.append(value)
+            elif name == "add_at":
+                index = abs(value) % (len(reference) + 1)
+                impl.add_at(index, value)
+                reference.insert(index, value)
+            elif name == "remove_at" and reference:
+                index = abs(value) % len(reference)
+                assert impl.remove_at(index) == reference.pop(index)
+            elif name == "remove_value":
+                expected = value in reference
+                if expected:
+                    reference.remove(value)
+                assert impl.remove_value(value) == expected
+            elif name == "set_at" and reference:
+                index = abs(value) % len(reference)
+                assert impl.set_at(index, value) == reference[index]
+                reference[index] = value
+            elif name == "get" and reference:
+                index = abs(value) % len(reference)
+                assert impl.get(index) == reference[index]
+            elif name == "index_of":
+                expected = reference.index(value) if value in reference else -1
+                assert impl.index_of(value) == expected
+            elif name == "clear":
+                impl.clear()
+                reference.clear()
+            assert impl.size == len(reference)
+            triple = impl.adt_footprint()
+            assert triple.live >= triple.used >= triple.core >= 0
+        assert impl.peek_values() == reference
+        assert list(impl.iter_values()) == reference
+
+
+_set_ops = st.lists(st.one_of(
+    st.tuples(st.just("add"), _values),
+    st.tuples(st.just("remove"), _values),
+    st.tuples(st.just("contains"), _values),
+    st.tuples(st.just("clear"), _values),
+), max_size=40)
+
+
+@pytest.mark.parametrize("impl_class",
+                         [HashSetImpl, LinkedHashSetImpl, LazySetImpl,
+                          ArraySetImpl, SizeAdaptingSetImpl])
+class TestSetConformance:
+    @_SETTINGS
+    @given(ops=_set_ops)
+    def test_matches_python_set(self, impl_class, ops):
+        vm = _fresh_vm()
+        impl = impl_class(vm)
+        reference = set()
+        for name, value in ops:
+            if name == "add":
+                assert impl.add(value) == (value not in reference)
+                reference.add(value)
+            elif name == "remove":
+                assert impl.remove_value(value) == (value in reference)
+                reference.discard(value)
+            elif name == "contains":
+                assert impl.contains(value) == (value in reference)
+            elif name == "clear":
+                impl.clear()
+                reference.clear()
+            assert impl.size == len(reference)
+            triple = impl.adt_footprint()
+            assert triple.live >= triple.used >= triple.core >= 0
+        assert set(impl.peek_values()) == reference
+
+
+_map_ops = st.lists(st.one_of(
+    st.tuples(st.just("put"), _values, _values),
+    st.tuples(st.just("remove"), _values, _values),
+    st.tuples(st.just("get"), _values, _values),
+    st.tuples(st.just("contains"), _values, _values),
+    st.tuples(st.just("clear"), _values, _values),
+), max_size=40)
+
+
+@pytest.mark.parametrize("impl_class",
+                         [HashMapImpl, LinkedHashMapImpl, LazyMapImpl,
+                          ArrayMapImpl, SizeAdaptingMapImpl])
+class TestMapConformance:
+    @_SETTINGS
+    @given(ops=_map_ops)
+    def test_matches_python_dict(self, impl_class, ops):
+        vm = _fresh_vm()
+        impl = impl_class(vm)
+        reference = {}
+        for name, key, value in ops:
+            if name == "put":
+                assert impl.put(key, value) == reference.get(key)
+                reference[key] = value
+            elif name == "remove":
+                assert impl.remove_key(key) == reference.pop(key, None)
+            elif name == "get":
+                assert impl.get(key) == reference.get(key)
+            elif name == "contains":
+                assert impl.contains_key(key) == (key in reference)
+            elif name == "clear":
+                impl.clear()
+                reference.clear()
+            assert impl.size == len(reference)
+            triple = impl.adt_footprint()
+            assert triple.live >= triple.used >= triple.core >= 0
+        assert dict(impl.peek_items()) == reference
+
+
+class TestBoxRefcountInvariant:
+    @_SETTINGS
+    @given(ops=_list_ops)
+    def test_boxes_match_distinct_primitives(self, ops):
+        """After any operation sequence, the box pool holds exactly one
+        box per distinct primitive value stored."""
+        vm = _fresh_vm()
+        impl = ArrayListImpl(vm)
+        reference = []
+        for name, value in ops:
+            if name == "add":
+                impl.add(value)
+                reference.append(value)
+            elif name == "remove_at" and reference:
+                index = abs(value) % len(reference)
+                impl.remove_at(index)
+                reference.pop(index)
+            elif name == "clear":
+                impl.clear()
+                reference.clear()
+            elif name == "set_at" and reference:
+                index = abs(value) % len(reference)
+                impl.set_at(index, value)
+                reference[index] = value
+        assert impl.boxes.box_count == len(set(reference))

@@ -1,0 +1,103 @@
+"""Implementation registry: lookup, kinds, extension."""
+
+import pytest
+
+from repro.collections.base import CollectionKind
+from repro.collections.lists import ArrayListImpl
+from repro.collections.registry import (ImplementationRegistry,
+                                        default_registry)
+
+
+class TestDefaultRegistry:
+    def test_known_source_types(self):
+        registry = default_registry()
+        known = set(registry.known_source_types())
+        assert {"ArrayList", "LinkedList", "HashMap", "HashSet",
+                "List", "Set", "Map"} <= known
+
+    def test_defaults_match_java(self):
+        registry = default_registry()
+        assert registry.default_impl_for("HashMap") == "HashMap"
+        assert registry.default_impl_for("List") == "ArrayList"
+        assert registry.default_impl_for("Set") == "HashSet"
+
+    def test_kind_of(self):
+        registry = default_registry()
+        assert registry.kind_of("ArrayList") is CollectionKind.LIST
+        assert registry.kind_of("HashMap") is CollectionKind.MAP
+        assert registry.kind_of("HashSet") is CollectionKind.SET
+
+    def test_unknown_source_type(self):
+        registry = default_registry()
+        with pytest.raises(KeyError):
+            registry.default_impl_for("TreeMap")
+        with pytest.raises(KeyError):
+            registry.kind_of("TreeMap")
+
+    def test_every_paper_implementation_is_registered(self):
+        """Section 4.2's implementation list must be available."""
+        registry = default_registry()
+        lists = set(registry.names_for_kind(CollectionKind.LIST))
+        sets_ = set(registry.names_for_kind(CollectionKind.SET))
+        maps = set(registry.names_for_kind(CollectionKind.MAP))
+        assert {"ArrayList", "LinkedList", "LazyArrayList", "IntArray",
+                "SingletonList", "EmptyList"} <= lists
+        assert {"HashSet", "LazySet", "ArraySet", "SizeAdaptingSet",
+                "LinkedHashSet"} <= sets_
+        assert {"HashMap", "ArrayMap", "LazyMap", "SizeAdaptingMap",
+                "LinkedHashMap"} <= maps
+
+    def test_linked_hash_set_backs_both_kinds(self):
+        """Table 2's ArrayList->LinkedHashSet replacement requires a
+        list-capable hash implementation."""
+        registry = default_registry()
+        assert registry.supports("LinkedHashSet", CollectionKind.SET)
+        assert registry.supports("LinkedHashSet", CollectionKind.LIST)
+
+    def test_create_dispatches_by_kind(self, vm):
+        registry = default_registry()
+        as_set = registry.create(vm, "LinkedHashSet", CollectionKind.SET)
+        as_list = registry.create(vm, "LinkedHashSet", CollectionKind.LIST)
+        assert type(as_set).__name__ == "LinkedHashSetImpl"
+        assert type(as_list).__name__ == "HashBackedListImpl"
+
+    def test_create_unknown_name(self, vm):
+        with pytest.raises(KeyError):
+            default_registry().create(vm, "TreeList", CollectionKind.LIST)
+
+    def test_create_wrong_kind(self, vm):
+        with pytest.raises(KeyError):
+            default_registry().create(vm, "ArrayMap", CollectionKind.LIST)
+
+
+class _CustomList(ArrayListImpl):
+    IMPL_NAME = "CustomList"
+
+
+class TestExtension:
+    def test_user_registration(self, vm):
+        """'we allow the user to add her own implementations'."""
+        registry = ImplementationRegistry()
+        registry.register("CustomList", _CustomList, [CollectionKind.LIST])
+        registry.register_source_type("CustomList", CollectionKind.LIST,
+                                      "CustomList")
+        impl = registry.create(vm, "CustomList", CollectionKind.LIST)
+        assert isinstance(impl, _CustomList)
+        assert registry.default_impl_for("CustomList") == "CustomList"
+
+    def test_registration_requires_a_kind(self):
+        registry = ImplementationRegistry()
+        with pytest.raises(ValueError):
+            registry.register("X", _CustomList, [])
+
+    def test_source_type_requires_known_impl(self):
+        registry = ImplementationRegistry()
+        with pytest.raises(KeyError):
+            registry.register_source_type("X", CollectionKind.LIST, "Nope")
+
+    def test_capacity_and_context_forwarded(self, vm):
+        registry = default_registry()
+        impl = registry.create(vm, "ArrayList", CollectionKind.LIST,
+                               initial_capacity=7, context_id=42)
+        assert impl.capacity == 7
+        assert impl.context_id == 42

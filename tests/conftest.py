@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.layout import MemoryModel
+from repro.profiler.profiler import SemanticProfiler
+from repro.runtime.vm import RuntimeEnvironment
+
+
+@pytest.fixture
+def model() -> MemoryModel:
+    """The paper's 32-bit memory model."""
+    return MemoryModel.for_32bit()
+
+
+@pytest.fixture
+def vm() -> RuntimeEnvironment:
+    """A plain (unprofiled) runtime with periodic GC disabled, so tests
+    control collection timing explicitly."""
+    return RuntimeEnvironment(gc_threshold_bytes=None)
+
+
+@pytest.fixture
+def profiled_vm() -> RuntimeEnvironment:
+    """A runtime with the semantic profiler enabled (sampling: always)."""
+    return RuntimeEnvironment(gc_threshold_bytes=None,
+                              profiler=SemanticProfiler())

@@ -1,0 +1,122 @@
+"""The offline Chameleon facade: profile -> suggest -> apply -> compare."""
+
+import pytest
+
+from repro.collections.wrappers import ChameleonMap
+from repro.core.chameleon import Chameleon, RunMetrics
+from repro.core.config import ToolConfig
+from repro.memory.heap import OutOfMemoryError
+from repro.workloads.base import Workload
+
+
+class SmallMapWorkload(Workload):
+    """Tiny TVLA-shaped program: many small long-lived HashMaps."""
+
+    name = "small-maps"
+
+    def run(self, vm):
+        holder = vm.allocate_data("Holder", ref_fields=2)
+        vm.add_root(holder)
+        def cache_factory():
+            return ChameleonMap(vm, src_type="HashMap")
+        for i in range(self.scaled(60)):
+            mapping = cache_factory()
+            holder.add_ref(mapping.heap_obj.obj_id)
+            for k in range(5):
+                mapping.put(k, k)
+            for k in range(5):
+                mapping.get(k)
+
+
+class TestProfiling:
+    def test_profile_produces_report_and_suggestions(self):
+        tool = Chameleon()
+        session = tool.profile(SmallMapWorkload())
+        assert session.metrics.completed
+        assert session.metrics.ticks > 0
+        assert len(session.report.profiles) >= 1
+        assert any(s.action.impl_name == "ArrayMap"
+                   for s in session.suggestions)
+
+    def test_session_render(self):
+        tool = Chameleon()
+        session = tool.profile(SmallMapWorkload())
+        text = session.render()
+        assert "allocation contexts" in text
+        assert "ArrayMap" in text
+
+    def test_sampling_configured_by_tool_config(self):
+        config = ToolConfig(sampling_rate=4, sampling_warmup=2)
+        tool = Chameleon(config)
+        session = tool.profile(SmallMapWorkload())
+        profiler = session.vm.profiler
+        assert profiler.unsampled_allocations > 0
+        assert profiler.sampled_allocations > 0
+
+
+class TestOptimize:
+    def test_optimize_improves_footprint_and_time(self):
+        result = Chameleon().optimize(SmallMapWorkload())
+        assert len(result.policy) >= 1
+        assert result.peak_reduction > 0.2
+        assert result.speedup > 1.0
+        assert result.time_reduction == pytest.approx(
+            1 - 1 / result.speedup)
+        assert "saved" in result.render()
+
+    def test_top_limits_applied_contexts(self):
+        tool = Chameleon()
+        session = tool.profile(SmallMapWorkload())
+        policy = tool.build_policy(session.suggestions, top=0)
+        assert len(policy) == 0
+
+    def test_config_top_contexts_to_apply(self):
+        tool = Chameleon(ToolConfig(top_contexts_to_apply=0))
+        session = tool.profile(SmallMapWorkload())
+        assert len(tool.build_policy(session.suggestions)) == 0
+
+    def test_plain_runs_are_deterministic(self):
+        tool = Chameleon()
+        workload = SmallMapWorkload()
+        _, first = tool.plain_run(workload)
+        _, second = tool.plain_run(workload)
+        assert first == second
+
+    def test_plain_run_is_uninstrumented(self):
+        tool = Chameleon()
+        vm, _ = tool.plain_run(SmallMapWorkload())
+        assert not vm.profiling_enabled
+        assert vm.profiler.sampled_allocations == 0
+
+
+class TestHeapLimits:
+    def test_plain_run_raises_oom_under_tight_limit(self):
+        tool = Chameleon()
+        with pytest.raises(OutOfMemoryError):
+            tool.plain_run(SmallMapWorkload(), heap_limit=4096)
+
+    def test_plain_run_succeeds_with_headroom(self):
+        tool = Chameleon()
+        _, metrics = tool.plain_run(SmallMapWorkload())
+        _, limited = tool.plain_run(SmallMapWorkload(),
+                                    heap_limit=metrics.peak_live_bytes * 3)
+        assert limited.completed
+
+
+class TestRunMetrics:
+    def test_from_vm_snapshot(self):
+        tool = Chameleon()
+        vm, metrics = tool.plain_run(SmallMapWorkload())
+        assert metrics.ticks == vm.now
+        assert metrics.peak_live_bytes == vm.timeline.max_live_data
+        assert metrics.gc_cycles == vm.timeline.cycle_count
+        assert metrics.total_allocated_objects > 0
+
+    def test_zero_division_guards(self):
+        zero = RunMetrics(0, 0, 0, 0, 0, True)
+        from repro.core.chameleon import OptimizationResult
+        result = OptimizationResult(session=None, policy=None,
+                                    baseline=zero, optimized=zero)
+        assert result.peak_reduction == 0.0
+        assert result.time_reduction == 0.0
+        assert result.speedup == 1.0

@@ -1,0 +1,71 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["profile", "tvla"])
+        assert args.scale == 0.4
+        assert args.top == 5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("tvla", "soot", "pmd", "dacapo-compress"):
+            assert name in out
+
+    def test_profile(self, capsys):
+        code, out = run_cli(capsys, "profile", "tvla",
+                            "--scale", "0.1", "--top", "3")
+        assert code == 0
+        assert "allocation contexts" in out
+        assert "ArrayMap" in out
+        assert "GC cycles" in out
+
+    def test_profile_fractions_flag(self, capsys):
+        _, out = run_cli(capsys, "profile", "tvla", "--scale", "0.1",
+                         "--fractions")
+        assert "live%" in out
+
+    def test_optimize(self, capsys):
+        code, out = run_cli(capsys, "optimize", "findbugs",
+                            "--scale", "0.12")
+        assert code == 0
+        assert "ReplacementMap" in out
+        assert "peak footprint" in out
+
+    def test_online(self, capsys):
+        code, out = run_cli(capsys, "online", "tvla", "--scale", "0.12",
+                            "--retrofit")
+        assert code == 0
+        assert "slowdown" in out
+
+    def test_experiment_fig3(self, capsys):
+        code, out = run_cli(capsys, "experiment", "fig3",
+                            "--scale", "0.1")
+        assert code == 0
+        assert "potential" in out
+
+    def test_unknown_workload_exits_with_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "quake"])
+        assert "available" in str(excinfo.value)

@@ -1,0 +1,74 @@
+"""Tool configuration."""
+
+import pytest
+
+from repro.core.config import ToolConfig
+from repro.memory.layout import MemoryModel
+from repro.profiler.stability import StabilityPolicy
+from repro.runtime.costs import CostModel
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = ToolConfig()
+        assert config.context_depth == 2           # "usually of depth 2 or 3"
+        assert config.sampling_rate == 1
+        assert config.memory_model.name == "32-bit"
+        assert config.online_retrofit_live is False
+        assert config.top_contexts_to_apply is None
+
+    def test_independent_instances(self):
+        a, b = ToolConfig(), ToolConfig()
+        a.constants["X"] = 1.0
+        assert "X" not in b.constants
+
+
+class TestValidation:
+    def test_sampling_rate(self):
+        with pytest.raises(ValueError):
+            ToolConfig(sampling_rate=0)
+
+    def test_online_decide_after(self):
+        with pytest.raises(ValueError):
+            ToolConfig(online_decide_after=0)
+
+
+class TestPlumbing:
+    def test_config_reaches_the_vm(self):
+        from repro.core.chameleon import Chameleon
+
+        config = ToolConfig(
+            memory_model=MemoryModel.for_64bit(),
+            cost_model=CostModel().with_overrides(hash_compute=99),
+            gc_threshold_bytes=1234,
+            context_depth=3)
+        vm = Chameleon(config).make_vm()
+        assert vm.model.pointer_bytes == 8
+        assert vm.costs.hash_compute == 99
+        assert vm.gc_threshold_bytes == 1234
+        assert vm.contexts.depth == 3
+
+    def test_constants_reach_the_engine(self):
+        from repro.core.chameleon import Chameleon
+
+        tool = Chameleon(ToolConfig(constants={"SMALL_SIZE": 3.0}))
+        assert tool.engine.constants["SMALL_SIZE"] == 3.0
+
+    def test_stability_reaches_the_engine(self):
+        from repro.core.chameleon import Chameleon
+
+        policy = StabilityPolicy.permissive()
+        tool = Chameleon(ToolConfig(stability=policy))
+        assert tool.engine.stability is policy
+
+    def test_64bit_model_changes_measured_sizes(self):
+        """The layout parameter is live: the same program has a bigger
+        footprint under 64-bit headers and pointers."""
+        from repro.core.chameleon import Chameleon
+        from repro.workloads import TvlaWorkload
+
+        workload = TvlaWorkload(scale=0.1)
+        _, small = Chameleon(ToolConfig()).plain_run(workload)
+        _, large = Chameleon(ToolConfig(
+            memory_model=MemoryModel.for_64bit())).plain_run(workload)
+        assert large.peak_live_bytes > 1.3 * small.peak_live_bytes

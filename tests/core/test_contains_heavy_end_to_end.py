@@ -1,0 +1,79 @@
+"""End-to-end Table 2 rule 1: ArrayList -> LinkedHashSet replacement.
+
+The trickiest replacement semantically: the program keeps speaking the
+List API while the backing becomes an insertion-ordered hash structure.
+This test drives the full loop -- profile, suggest, apply, re-run -- and
+checks behaviour, footprint and the time win the rule promises.
+"""
+
+import pytest
+
+from repro.collections.wrappers import ChameleonList
+from repro.core.chameleon import Chameleon
+from repro.workloads.base import Workload
+
+
+class MembershipWorkload(Workload):
+    """A worklist of unique records probed by contains() constantly."""
+
+    name = "membership"
+
+    def run(self, vm):
+        self.final_contents = None
+        self.probe_results = []
+        holder = vm.allocate_data("Holder", ref_fields=1)
+        vm.add_root(holder)
+
+        def make_seen_list():
+            return ChameleonList(vm, src_type="ArrayList")
+
+        for _ in range(4):
+            seen = make_seen_list()
+            holder.add_ref(seen.heap_obj.obj_id)
+            records = [vm.allocate_data("Rec", int_fields=2)
+                       for _ in range(200)]
+            for record in records:
+                # The classic slow idiom: contains() before every add.
+                if not seen.contains(record):
+                    seen.add(record)
+            for record in records[::3]:
+                self.probe_results.append(seen.contains(record))
+            self.final_contents = seen.size()
+
+
+class TestContainsHeavyReplacement:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        tool = Chameleon()
+        workload = MembershipWorkload()
+        session = tool.profile(workload)
+        policy = tool.build_policy(session.suggestions)
+        _, base = tool.plain_run(workload)
+        base_probes = list(workload.probe_results)
+        base_size = workload.final_contents
+        _, optimized = tool.plain_run(workload, policy=policy)
+        return (session, policy, base, optimized, base_probes,
+                base_size, workload)
+
+    def test_rule_fires(self, outcome):
+        session, policy, *_ = outcome
+        assert any(s.action.impl_name == "LinkedHashSet"
+                   for s in session.suggestions)
+        assert len(policy) >= 1
+
+    def test_behaviour_preserved(self, outcome):
+        _, _, _, _, base_probes, base_size, workload = outcome
+        assert workload.probe_results == base_probes
+        assert workload.final_contents == base_size == 200
+
+    def test_time_improves(self, outcome):
+        _, _, base, optimized, *_ = outcome
+        # 200 quadratic contains-scans per list vs hash probes.
+        assert optimized.ticks < 0.6 * base.ticks
+
+    def test_replacement_is_the_hash_backed_list(self, outcome):
+        """The applied implementation serves the List API over a linked
+        hash table."""
+        session, policy, *_ = outcome
+        (_, _, choice), = policy.entries()
+        assert choice.impl_name == "LinkedHashSet"

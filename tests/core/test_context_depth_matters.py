@@ -1,0 +1,87 @@
+"""Why allocation *contexts* beat allocation *sites* (section 3.2.1).
+
+"Practically, the full allocation context is rarely needed ... we use a
+partial allocation context, containing only a call stack of depth two or
+three."  The depth matters when a factory serves callers with different
+behaviour: a site-only profile merges them into one unstable context (no
+safe suggestion), while a depth-2 context separates them (each side gets
+its own fix) -- TVLA's HashMapFactory being the paper's example.
+"""
+
+import pytest
+
+from repro.collections.wrappers import ChameleonMap
+from repro.core.chameleon import Chameleon
+from repro.core.config import ToolConfig
+from repro.workloads.base import Workload
+
+
+class FactoryWorkload(Workload):
+    """One map factory, two behaviourally different callers."""
+
+    name = "factory"
+
+    def _map_factory(self, vm):
+        # The single allocation *site* both callers go through.
+        return ChameleonMap(vm, src_type="HashMap")
+
+    def run(self, vm):
+        holder = vm.allocate_data("Holder", ref_fields=2)
+        vm.add_root(holder)
+
+        def make_tiny_cache():
+            mapping = self._map_factory(vm)
+            holder.add_ref(mapping.heap_obj.obj_id)
+            for k in range(4):          # small, stable
+                mapping.put(k, k)
+            return mapping
+
+        def make_big_index():
+            mapping = self._map_factory(vm)
+            holder.add_ref(mapping.heap_obj.obj_id)
+            for k in range(300):        # large, stable
+                mapping.put(k, k)
+            return mapping
+
+        for _ in range(12):
+            make_tiny_cache()
+        for _ in range(4):
+            make_big_index()
+
+
+class TestDepthSeparatesFactoryCallers:
+    def test_site_only_context_merges_and_stays_silent(self):
+        """At depth 1 the factory is one context with sizes {4, 300}:
+        unstable, so the stability gate rightly blocks the small-map
+        replacement (which would cripple the big indexes)."""
+        tool = Chameleon(ToolConfig(context_depth=1))
+        session = tool.profile(FactoryWorkload())
+        hashmap_profiles = [p for p in session.report.profiles
+                            if p.src_type == "HashMap"]
+        assert len(hashmap_profiles) == 1  # merged
+        assert not any(s.action.impl_name == "ArrayMap"
+                       for s in session.suggestions)
+
+    def test_depth_two_separates_and_fixes_the_small_caller(self):
+        """At depth 2 the callers are distinct contexts; the tiny-cache
+        one is stable-and-small, so ArrayMap fires there and only there."""
+        tool = Chameleon(ToolConfig(context_depth=2))
+        session = tool.profile(FactoryWorkload())
+        hashmap_profiles = [p for p in session.report.profiles
+                            if p.src_type == "HashMap"]
+        assert len(hashmap_profiles) == 2  # separated
+        array_map = [s for s in session.suggestions
+                     if s.action.impl_name == "ArrayMap"]
+        assert len(array_map) == 1
+        assert "make_tiny_cache" in array_map[0].profile.render_context()
+
+    def test_depth_two_fix_applies_only_to_the_small_caller(self):
+        """End to end: applying the depth-2 policy shrinks the heap
+        without touching the big indexes."""
+        tool = Chameleon(ToolConfig(context_depth=2))
+        workload = FactoryWorkload()
+        session = tool.profile(workload)
+        policy = tool.build_policy(session.suggestions)
+        _, base = tool.plain_run(workload)
+        _, optimized = tool.plain_run(workload, policy=policy)
+        assert optimized.peak_live_bytes < base.peak_live_bytes

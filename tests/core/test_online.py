@@ -1,0 +1,139 @@
+"""Fully automatic (online) mode: learning policy and its costs."""
+
+import pytest
+
+from repro.collections.wrappers import ChameleonMap
+from repro.core.chameleon import Chameleon
+from repro.core.config import ToolConfig
+from repro.core.online import OnlineChameleon, OnlinePolicy
+from repro.workloads.base import Workload
+
+
+class ChurnWorkload(Workload):
+    """A rolling window of small maps from one context: enough deaths for
+    the online policy to decide, enough live instances at each GC for the
+    space-gated small-map rule to see real potential."""
+
+    name = "churn"
+
+    def run(self, vm):
+        self.impl_names = []
+        window = []
+
+        def cache_site():
+            return ChameleonMap(vm, src_type="HashMap")
+
+        kept = 0
+        for i in range(self.scaled(120)):
+            mapping = cache_site()
+            mapping.pin()
+            # Every third map joins the long-lived state (a growing data
+            # structure, so the live peak keeps rising and late -- i.e.
+            # replaced -- allocations shape it); the rest churn.
+            if i % 3 == 0:
+                kept += 1
+            else:
+                window.append(mapping)
+            if len(window) > 10:
+                window.pop(0).unpin()
+            for k in range(5):
+                mapping.put(k, k)
+            self.impl_names.append(mapping.impl.IMPL_NAME)
+            if i % 10 == 9:
+                vm.collect()
+
+
+class TestOnlinePolicyLearning:
+    def test_later_allocations_are_replaced(self):
+        config = ToolConfig(online_decide_after=4)
+        online = OnlineChameleon(config)
+        workload = ChurnWorkload()
+        result = online.run(workload, with_baseline=False)
+        assert workload.impl_names[0] == "HashMap"          # observing
+        assert workload.impl_names[-1] == "ArrayMap"        # decided
+        assert result.policy.replacements_chosen >= 1
+        assert result.policy.decisions_made >= 1
+
+    def test_decision_is_cached(self):
+        config = ToolConfig(online_decide_after=4)
+        online = OnlineChameleon(config)
+        workload = ChurnWorkload()
+        online.run(workload, with_baseline=False)
+        # Far fewer decisions than allocations: one per context.
+        assert online  # smoke
+        switched = sum(1 for name in workload.impl_names
+                       if name == "ArrayMap")
+        assert switched > len(workload.impl_names) // 2
+
+    def test_space_saving_materialises_in_the_same_run(self):
+        online = OnlineChameleon(ToolConfig(online_decide_after=4))
+        result = online.run(ChurnWorkload())
+        assert result.peak_reduction > 0.0
+
+
+class TestOnlineCosts:
+    def test_online_run_is_slower_than_baseline(self):
+        online = OnlineChameleon(ToolConfig(online_decide_after=4))
+        result = online.run(ChurnWorkload())
+        assert result.slowdown > 1.0
+
+    def test_capture_cost_scales_with_allocation_density(self):
+        """The PMD-vs-TVLA asymmetry of section 5.4: a program doing few
+        operations per collection allocation suffers a larger online
+        slowdown than one doing many."""
+        online = OnlineChameleon(ToolConfig(online_decide_after=4))
+
+        class OpsHeavyChurn(ChurnWorkload):
+            def run(self, workload_vm):
+                super().run(workload_vm)
+                # Pile non-allocating operation work on top.
+                probe = ChameleonMap(workload_vm, src_type="HashMap")
+                probe.pin()
+                probe.put("k", 1)
+                for _ in range(20_000):
+                    probe.get("k")
+
+        alloc_dense = online.run(ChurnWorkload())
+        op_dense = online.run(OpsHeavyChurn())
+        assert alloc_dense.slowdown > op_dense.slowdown
+
+    def test_render_mentions_slowdown(self):
+        online = OnlineChameleon(ToolConfig(online_decide_after=4))
+        result = online.run(ChurnWorkload(scale=0.5))
+        assert "slowdown" in result.render()
+
+
+class TestRetrofit:
+    def test_live_instances_swapped_after_decision(self):
+        """With retrofit enabled, a decided context's already-live
+        collections are converted through their wrappers."""
+        online = OnlineChameleon(ToolConfig(online_decide_after=4,
+                                            online_retrofit_live=True))
+        result = online.run(ChurnWorkload())
+        assert result.policy.retrofitted > 0
+        assert result.peak_reduction > 0.1
+
+    def test_retrofit_off_by_default(self):
+        online = OnlineChameleon(ToolConfig(online_decide_after=4))
+        result = online.run(ChurnWorkload(), with_baseline=False)
+        assert result.policy.retrofitted == 0
+
+
+class TestOnlinePolicyUnit:
+    def test_requires_runtime_capture(self):
+        policy = OnlinePolicy(Chameleon().engine)
+        assert policy.requires_runtime_capture is True
+
+    def test_unbound_policy_returns_none(self):
+        policy = OnlinePolicy(Chameleon().engine)
+        assert policy.choose("HashMap", 1) is None
+
+    def test_no_context_returns_none(self):
+        policy = OnlinePolicy(Chameleon().engine)
+        assert policy.choose("HashMap", None) is None
+
+    def test_decisions_property_copies(self):
+        policy = OnlinePolicy(Chameleon().engine)
+        decisions = policy.decisions
+        decisions[99] = "tampered"
+        assert 99 not in policy.decisions

@@ -1,0 +1,37 @@
+"""The bundled examples must keep running (rot protection).
+
+``abstract_interpreter.py`` is excluded here because its minimal-heap
+searches take tens of seconds; the benchmark suite exercises the same
+code paths.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py",
+                                    "custom_collections.py",
+                                    "online_adaptation.py"])
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"
+
+
+def test_quickstart_reports_a_saving(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "replace with ArrayMap" in out
+    assert "peak footprint saved" in out
+
+
+def test_online_example_learns(capsys):
+    runpy.run_path(str(EXAMPLES / "online_adaptation.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "last allocation backed by  : ArrayMap" in out
+    assert "retrofitted" in out

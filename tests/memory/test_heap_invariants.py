@@ -1,0 +1,49 @@
+"""Property-based accounting invariants of the simulated heap."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.heap import SimHeap
+
+_ops = st.lists(st.tuples(st.sampled_from(["alloc", "free"]),
+                          st.integers(0, 512)), max_size=80)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_ops)
+def test_occupancy_equals_sum_of_live_objects(ops):
+    heap = SimHeap()
+    live = []
+    for name, size in ops:
+        if name == "alloc":
+            live.append(heap.allocate("A", size))
+        elif live:
+            index = size % len(live)
+            heap.free(live.pop(index))
+    assert heap.occupied_bytes == sum(obj.size for obj in heap.objects())
+    assert len(heap) == len(live)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_ops)
+def test_monotonic_counters_balance(ops):
+    heap = SimHeap()
+    live = []
+    for name, size in ops:
+        if name == "alloc":
+            live.append(heap.allocate("A", size))
+        elif live:
+            heap.free(live.pop())
+    assert (heap.total_allocated_objects
+            == heap.total_freed_objects + len(live))
+    assert (heap.total_allocated_bytes
+            == heap.total_freed_bytes + heap.occupied_bytes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes=st.lists(st.integers(0, 1000), max_size=50))
+def test_all_stored_sizes_are_aligned(sizes):
+    heap = SimHeap()
+    for size in sizes:
+        obj = heap.allocate("A", size)
+        assert obj.size % heap.model.alignment == 0
+        assert obj.size >= size

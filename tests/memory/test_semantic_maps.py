@@ -1,0 +1,120 @@
+"""Semantic ADT maps: footprint triples and registry dispatch."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.heap import SimHeap
+from repro.memory.semantic_maps import (FootprintTriple, ProtocolSemanticMap,
+                                        SemanticMap, SemanticMapRegistry)
+
+
+class TestFootprintTriple:
+    def test_valid_triple(self):
+        triple = FootprintTriple(100, 60, 20)
+        assert triple.slack == 40
+        assert triple.overhead == 80
+
+    def test_ordering_invariant_enforced(self):
+        with pytest.raises(ValueError):
+            FootprintTriple(10, 20, 5)   # used > live
+        with pytest.raises(ValueError):
+            FootprintTriple(20, 10, 15)  # core > used
+        with pytest.raises(ValueError):
+            FootprintTriple(10, 5, -1)   # negative core
+
+    def test_degenerate_equal_triple(self):
+        triple = FootprintTriple(8, 8, 8)
+        assert triple.slack == 0
+        assert triple.overhead == 0
+
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000))
+    def test_constructor_accepts_exactly_sorted_triples(self, a, b, c):
+        live, used, core = sorted((a, b, c), reverse=True)
+        triple = FootprintTriple(live, used, core)
+        assert triple.slack >= 0
+        assert triple.overhead >= triple.slack
+
+
+class _Payload:
+    def __init__(self):
+        self.triple = FootprintTriple(50, 40, 10)
+
+    def adt_footprint(self):
+        return self.triple
+
+    def adt_internal_ids(self):
+        return iter((42,))
+
+    def adt_element_count(self):
+        return 2
+
+
+class TestProtocolDispatch:
+    def test_protocol_map_matches_payloads(self):
+        heap = SimHeap()
+        obj = heap.allocate("X", 8, payload=_Payload())
+        semantic_map = ProtocolSemanticMap()
+        assert semantic_map.matches(obj)
+        assert semantic_map.footprint(obj).live == 50
+        assert list(semantic_map.internal_ids(obj)) == [42]
+        assert semantic_map.element_count(obj) == 2
+
+    def test_protocol_map_rejects_plain_payloads(self):
+        heap = SimHeap()
+        obj = heap.allocate("X", 8, payload="just data")
+        assert not ProtocolSemanticMap().matches(obj)
+
+    def test_registry_returns_none_for_plain_objects(self):
+        heap = SimHeap()
+        obj = heap.allocate("X", 8)
+        assert SemanticMapRegistry().lookup(obj) is None
+
+
+class _CustomRowStoreMap(SemanticMap):
+    """Custom map modelling the paper's HSQLDB scenario."""
+
+    def matches(self, obj):
+        return obj.type_name == "HsqlRowStore"
+
+    def footprint(self, obj):
+        return FootprintTriple(obj.size + 100, obj.size + 80, 40)
+
+    def internal_ids(self, obj):
+        return iter(obj.refs.keys())
+
+    def element_count(self, obj):
+        return len(obj.refs)
+
+
+class TestCustomRegistration:
+    def test_custom_map_takes_precedence(self):
+        heap = SimHeap()
+        registry = SemanticMapRegistry()
+        registry.register("HsqlRowStore", _CustomRowStoreMap())
+        store = heap.allocate("HsqlRowStore", 24)
+        found = registry.lookup(store)
+        assert isinstance(found, _CustomRowStoreMap)
+        assert found.footprint(store).live == 124
+
+    def test_custom_map_listed_and_unregisterable(self):
+        registry = SemanticMapRegistry()
+        registry.register("HsqlRowStore", _CustomRowStoreMap())
+        assert "HsqlRowStore" in list(registry.registered_types())
+        registry.unregister("HsqlRowStore")
+        assert "HsqlRowStore" not in list(registry.registered_types())
+
+    def test_custom_map_matching_is_checked(self):
+        """A registered map whose matches() declines falls through to the
+        protocol path (or to None)."""
+        heap = SimHeap()
+        registry = SemanticMapRegistry()
+        registry.register("Other", _CustomRowStoreMap())
+        obj = heap.allocate("Other", 8)
+        assert registry.lookup(obj) is None
+
+    def test_protocol_fallback_behind_custom_types(self):
+        heap = SimHeap()
+        registry = SemanticMapRegistry()
+        registry.register("HsqlRowStore", _CustomRowStoreMap())
+        protocol_obj = heap.allocate("SomethingElse", 8, payload=_Payload())
+        assert isinstance(registry.lookup(protocol_obj), ProtocolSemanticMap)

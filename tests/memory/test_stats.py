@@ -1,0 +1,124 @@
+"""GC-cycle statistics and cross-cycle aggregation (Tables 1 & 3 plumbing)."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.stats import (ContextCycleStats, ContextHeapAggregate,
+                                GcCycleStats, HeapAggregate, HeapTimeline)
+
+
+class TestHeapAggregate:
+    def test_total_and_max(self):
+        agg = HeapAggregate()
+        for value in (10, 30, 20):
+            agg.observe(value)
+        assert agg.total == 60
+        assert agg.max == 30
+        assert agg.cycles == 3
+        assert agg.mean == 20.0
+
+    def test_empty_aggregate(self):
+        agg = HeapAggregate()
+        assert agg.total == 0
+        assert agg.max == 0
+        assert agg.mean == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
+    def test_aggregate_matches_builtin_reductions(self, values):
+        agg = HeapAggregate()
+        for value in values:
+            agg.observe(value)
+        assert agg.total == sum(values)
+        assert agg.max == max(values)
+        assert agg.cycles == len(values)
+
+
+class TestContextCycleStats:
+    def test_add_accumulates(self):
+        ctx = ContextCycleStats(context_id=1)
+        ctx.add(100, 60, 20)
+        ctx.add(50, 40, 10)
+        assert (ctx.live, ctx.used, ctx.core) == (150, 100, 30)
+        assert ctx.object_count == 2
+        assert ctx.potential == 50
+
+
+class TestGcCycleStats:
+    def test_context_created_on_demand(self):
+        stats = GcCycleStats(cycle=1)
+        slice_a = stats.context(7)
+        slice_b = stats.context(7)
+        assert slice_a is slice_b
+
+    def test_fractions(self):
+        stats = GcCycleStats(cycle=1, live_data=1000, collection_live=700,
+                             collection_used=400, collection_core=100)
+        assert stats.collection_fraction == 0.7
+        assert stats.used_fraction == 0.4
+        assert stats.core_fraction == 0.1
+
+    def test_fractions_with_empty_heap(self):
+        stats = GcCycleStats(cycle=1)
+        assert stats.collection_fraction == 0.0
+
+    def test_type_bytes_accumulate(self):
+        stats = GcCycleStats(cycle=1)
+        stats.add_type_bytes("HashMap", 100)
+        stats.add_type_bytes("HashMap", 50)
+        assert stats.type_distribution["HashMap"] == 150
+
+
+class TestContextHeapAggregate:
+    def test_observe_cycle_folds_all_metrics(self):
+        agg = ContextHeapAggregate(context_id=3)
+        cycle = ContextCycleStats(3)
+        cycle.add(100, 60, 20)
+        agg.observe_cycle(cycle)
+        cycle2 = ContextCycleStats(3)
+        cycle2.add(200, 120, 40)
+        agg.observe_cycle(cycle2)
+        assert agg.live.total == 300
+        assert agg.used.max == 120
+        assert agg.total_potential == 300 - 180
+        assert agg.max_potential == 200 - 120
+        assert agg.object_count.total == 2
+
+
+class TestHeapTimeline:
+    def _cycle(self, n, live, coll_live, coll_used, coll_core,
+               context_id=None):
+        stats = GcCycleStats(cycle=n, live_data=live,
+                             collection_live=coll_live,
+                             collection_used=coll_used,
+                             collection_core=coll_core)
+        if context_id is not None:
+            stats.context(context_id).add(coll_live, coll_used, coll_core)
+        return stats
+
+    def test_record_builds_aggregates(self):
+        timeline = HeapTimeline()
+        timeline.record(self._cycle(1, 1000, 700, 400, 100, context_id=1))
+        timeline.record(self._cycle(2, 2000, 900, 500, 150, context_id=1))
+        assert timeline.cycle_count == 2
+        assert timeline.max_live_data == 2000
+        assert timeline.overall_live.total == 3000
+        assert timeline.collection_used.max == 500
+        context = timeline.context(1)
+        assert context.total_potential == (700 - 400) + (900 - 500)
+
+    def test_fractions_series(self):
+        timeline = HeapTimeline()
+        timeline.record(self._cycle(1, 1000, 700, 400, 100))
+        series = timeline.fractions_series()
+        assert series == [(1, 0.7, 0.4, 0.1)]
+
+    def test_contexts_ranked_by_potential(self):
+        timeline = HeapTimeline()
+        stats = GcCycleStats(cycle=1, live_data=100)
+        stats.context(1).add(100, 90, 10)   # potential 10
+        stats.context(2).add(100, 20, 10)   # potential 80
+        timeline.record(stats)
+        ranked = timeline.contexts_by_total_potential()
+        assert [c.context_id for c in ranked] == [2, 1]
+
+    def test_unknown_context_is_none(self):
+        assert HeapTimeline().context(99) is None

@@ -1,0 +1,131 @@
+"""Per-context aggregation of instance records (Table 1 trace half)."""
+
+import pytest
+
+from repro.profiler.context_info import ContextInfo
+from repro.profiler.counters import Op
+from repro.profiler.object_info import ObjectContextInfo
+
+
+def _instance(context_id=1, src="ArrayList", impl="ArrayList",
+              ops=(), max_size=0, capacity=None):
+    info = ObjectContextInfo(context_id, src, impl, capacity)
+    for op, count in ops:
+        for _ in range(count):
+            info.record_op(op)
+    if max_size:
+        info.record_size(max_size)
+    return info
+
+
+class TestAbsorption:
+    def test_counts_instances(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.on_allocation("ArrayList")
+        ctx.on_allocation("ArrayList")
+        ctx.absorb(_instance())
+        assert ctx.instances_allocated == 2
+        assert ctx.instances_dead == 1
+
+    def test_rejects_foreign_instances(self):
+        ctx = ContextInfo(1, "ArrayList")
+        with pytest.raises(ValueError):
+            ctx.absorb(_instance(context_id=2))
+
+    def test_op_mean_over_instances(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance(ops=[(Op.ADD, 4)]))
+        ctx.absorb(_instance(ops=[(Op.ADD, 8)]))
+        assert ctx.op_mean(Op.ADD) == 6.0
+        assert ctx.op_stddev(Op.ADD) == 2.0
+        assert ctx.op_total(Op.ADD) == 12.0
+
+    def test_unseen_ops_count_as_zero(self):
+        """An instance that never did #contains contributes a zero, so
+        averages are per-instance-at-context."""
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance(ops=[(Op.CONTAINS, 10)]))
+        ctx.absorb(_instance(ops=[]))
+        assert ctx.op_mean(Op.CONTAINS) == 5.0
+
+    def test_late_first_appearance_backfills_zeros(self):
+        """An op first seen on the third instance still averages over all
+        three."""
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance())
+        ctx.absorb(_instance())
+        ctx.absorb(_instance(ops=[(Op.GET_INDEX, 9)]))
+        assert ctx.op_mean(Op.GET_INDEX) == 3.0
+        assert ctx.op_stats[Op.GET_INDEX].count == 3
+
+    def test_never_seen_op_is_zero(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance())
+        assert ctx.op_mean(Op.REMOVE_FIRST) == 0.0
+        assert ctx.op_stddev(Op.REMOVE_FIRST) == 0.0
+
+
+class TestSizeStatistics:
+    def test_max_size_aggregates(self):
+        ctx = ContextInfo(1, "HashMap")
+        for size in (4, 6, 8):
+            ctx.absorb(_instance(src="HashMap", max_size=size))
+        assert ctx.avg_max_size == 6.0
+        assert ctx.max_max_size == 8.0
+        assert ctx.max_size_stddev == pytest.approx(1.632993, rel=1e-5)
+
+    def test_initial_capacity_only_when_given(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance(capacity=50))
+        ctx.absorb(_instance())  # unspecified: not folded in
+        assert ctx.avg_initial_capacity == 50.0
+        assert ctx.initial_capacity_stats.count == 1
+
+    def test_no_capacity_means_zero(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance())
+        assert ctx.avg_initial_capacity == 0.0
+
+
+class TestDerivedMetrics:
+    def test_all_ops_mean(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance(ops=[(Op.ADD, 3), (Op.GET_INDEX, 5)]))
+        ctx.absorb(_instance(ops=[(Op.ADD, 1)]))
+        assert ctx.all_ops_mean == 4.5
+
+    def test_all_ops_includes_copied(self):
+        """#allOps counts argument-side events, making the temporaries
+        rule #allOps == #copied satisfiable."""
+        ctx = ContextInfo(1, "ArrayList")
+        instance = _instance()
+        instance.record_copied()
+        ctx.absorb(instance)
+        assert ctx.all_ops_mean == 1.0
+        assert ctx.op_mean(Op.COPIED) == 1.0
+
+    def test_operation_distribution(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance(ops=[(Op.ADD, 1), (Op.GET_INDEX, 3)]))
+        distribution = ctx.operation_distribution()
+        assert distribution[Op.ADD] == 0.25
+        assert distribution[Op.GET_INDEX] == 0.75
+
+    def test_empty_distribution(self):
+        ctx = ContextInfo(1, "ArrayList")
+        ctx.absorb(_instance())
+        assert ctx.operation_distribution() == {}
+
+    def test_impl_names_tracked(self):
+        ctx = ContextInfo(1, "HashMap")
+        ctx.on_allocation("HashMap")
+        ctx.on_allocation("ArrayMap")
+        assert ctx.impl_names == {"HashMap", "ArrayMap"}
+
+    def test_swap_count_accumulates(self):
+        ctx = ContextInfo(1, "HashMap")
+        instance = _instance(src="HashMap")
+        instance.record_swap()
+        instance.record_swap()
+        ctx.absorb(instance)
+        assert ctx.swap_count == 2

@@ -1,0 +1,128 @@
+"""Report building, rendering and JSON export."""
+
+import json
+
+import pytest
+
+from repro.collections.wrappers import ChameleonList, ChameleonMap
+from repro.profiler.profiler import SemanticProfiler
+from repro.profiler.report import build_report
+from repro.runtime.context import ContextKey
+from repro.runtime.vm import RuntimeEnvironment
+
+
+@pytest.fixture
+def session():
+    vm = RuntimeEnvironment(gc_threshold_bytes=None,
+                            profiler=SemanticProfiler())
+    maps_key = ContextKey.synthetic("cacheFactory", "main")
+    lists_key = ContextKey.synthetic("logFactory", "main")
+    for i in range(6):
+        mapping = ChameleonMap(vm, context=maps_key)
+        mapping.pin()
+        for k in range(4):
+            mapping.put(k, k)
+        mapping.get(0)
+    lst = ChameleonList(vm, context=lists_key)
+    lst.pin()
+    lst.add(1)
+    vm.collect()
+    vm.finish()
+    report = build_report(vm.profiler, vm.timeline, vm.contexts)
+    return vm, report, maps_key, lists_key
+
+
+class TestBuildReport:
+    def test_one_profile_per_context(self, session):
+        _, report, _, _ = session
+        assert len(report.profiles) == 2
+
+    def test_context_lookup(self, session):
+        vm, report, maps_key, _ = session
+        context_id = vm.contexts.intern(maps_key)
+        profile = report.context(context_id)
+        assert profile.src_type == "HashMap"
+        assert profile.kind.value == "Map"
+        assert report.context(9999) is None
+
+    def test_ranking_by_potential(self, session):
+        _, report, _, _ = session
+        top = report.top_contexts(2)
+        assert top[0].total_potential >= top[1].total_potential
+        # The six 4-entry HashMaps dwarf the single list.
+        assert top[0].src_type == "HashMap"
+
+    def test_rank_by_max_potential(self, session):
+        _, report, _, _ = session
+        top = report.top_contexts(1, by="max_potential")
+        assert top[0].src_type == "HashMap"
+
+    def test_unknown_kind_and_key_tolerated(self):
+        """Contexts with unregistered source types still build."""
+        from repro.profiler.context_info import ContextInfo
+        from repro.memory.stats import HeapTimeline
+        from repro.runtime.context import ContextRegistry
+
+        profiler = SemanticProfiler()
+        profiler.on_allocation(42, "WeirdType", "WeirdImpl")
+        profiler.flush()
+        report = build_report(profiler, HeapTimeline(), ContextRegistry())
+        profile = report.profiles[0]
+        assert profile.kind is None
+        assert profile.key is None
+        assert "<unknown>" in profile.render_context()
+
+
+class TestRendering:
+    def test_top_contexts_text(self, session):
+        _, report, _, _ = session
+        text = report.render_top_contexts(2)
+        assert "cacheFactory" in text
+        assert "#put" in text or "#get(Object)" in text
+        assert "potential" in text
+
+    def test_fractions_text(self, session):
+        _, report, _, _ = session
+        text = report.render_fractions()
+        assert text.splitlines()[0].startswith("cycle")
+        assert len(text.splitlines()) >= 2
+
+
+class TestJsonExport:
+    def test_report_round_trips_through_json(self, session):
+        _, report, _, _ = session
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["gcCycles"] >= 2
+        assert data["maxLiveData"] > 0
+        assert len(data["contexts"]) == 2
+        assert len(data["fractions"]) == data["gcCycles"]
+
+    def test_context_dict_contents(self, session):
+        vm, report, maps_key, _ = session
+        context_id = vm.contexts.intern(maps_key)
+        data = report.context(context_id).to_dict()
+        assert data["srcType"] == "HashMap"
+        assert data["kind"] == "Map"
+        assert data["instances"] == 6
+        assert data["avgMaxSize"] == 4.0
+        assert data["operations"]["#put"] == 4.0
+        assert data["heap"]["maxLiveCount"] == 6
+        assert data["totalPotential"] > 0
+
+    def test_top_limits_exported_contexts(self, session):
+        _, report, _, _ = session
+        data = report.to_dict(top=1)
+        assert len(data["contexts"]) == 1
+
+
+class TestSuggestionJson:
+    def test_suggestion_dict(self, session):
+        from repro.rules.engine import RuleEngine
+        _, report, _, _ = session
+        suggestions = RuleEngine(min_potential_bytes=64).evaluate(report)
+        assert suggestions, "expected the small-map rule to fire"
+        data = json.loads(json.dumps(suggestions[0].to_dict()))
+        assert data["implementation"] == "ArrayMap"
+        assert data["action"] == "replace"
+        assert data["autoApplicable"] is True
+        assert data["potentialBytes"] > 0

@@ -1,0 +1,107 @@
+"""Definition 3.1: stability gating."""
+
+import math
+
+from repro.profiler.context_info import ContextInfo
+from repro.profiler.object_info import ObjectContextInfo
+from repro.profiler.stability import StabilityPolicy
+from repro.profiler.welford import Welford
+
+
+def _sizes(context, sizes):
+    for size in sizes:
+        instance = ObjectContextInfo(context.context_id, context.src_type,
+                                     "ArrayList")
+        instance.record_size(size)
+        context.absorb(instance)
+
+
+class TestSizeStability:
+    def test_tight_sizes_are_stable(self):
+        policy = StabilityPolicy()
+        stats = Welford()
+        for size in (5, 5, 6, 5, 5):
+            stats.observe(size)
+        assert policy.check_size(stats)
+
+    def test_wild_sizes_are_unstable(self):
+        policy = StabilityPolicy()
+        stats = Welford()
+        for size in (1, 200, 3, 5000):
+            stats.observe(size)
+        assert not policy.check_size(stats)
+
+    def test_relative_cap_tolerates_large_stable_means(self):
+        """stddev 20 on mean 100 is proportionally tight."""
+        policy = StabilityPolicy(size_stddev_cap=2.0, size_cv_cap=0.5)
+        stats = Welford()
+        for size in (80, 100, 120, 100):
+            stats.observe(size)
+        assert stats.stddev > 2.0
+        assert policy.check_size(stats)
+
+    def test_min_instances_gate(self):
+        policy = StabilityPolicy(min_instances=5)
+        stats = Welford()
+        stats.observe(1)
+        verdict = policy.check_size(stats)
+        assert not verdict
+        assert math.isinf(verdict.stddev)
+
+    def test_verdict_is_truthy_wrapper(self):
+        policy = StabilityPolicy(min_instances=1)
+        stats = Welford()
+        for _ in range(3):
+            stats.observe(4)
+        verdict = policy.check_size(stats)
+        assert bool(verdict) is True
+        assert verdict.stddev == 0.0
+        assert verdict.metric == "maxSize"
+
+
+class TestOpStability:
+    def test_op_counts_unrestricted_by_default(self):
+        """The paper: 'operation counts are not restricted'."""
+        policy = StabilityPolicy()
+        stats = Welford()
+        for count in (0, 10_000):
+            stats.observe(count)
+        assert policy.check_ops(stats)
+
+    def test_op_cap_can_be_enabled(self):
+        policy = StabilityPolicy(op_stddev_cap=1.0, min_instances=2)
+        stats = Welford()
+        for count in (0, 10_000):
+            stats.observe(count)
+        assert not policy.check_ops(stats)
+
+    def test_op_cap_respects_min_instances(self):
+        policy = StabilityPolicy(op_stddev_cap=1.0, min_instances=5)
+        stats = Welford()
+        stats.observe(3)
+        assert not policy.check_ops(stats)
+
+
+class TestContextGate:
+    def test_stable_context(self):
+        context = ContextInfo(1, "HashMap")
+        _sizes(context, [5, 5, 6, 5])
+        assert StabilityPolicy().context_is_stable(context)
+
+    def test_unstable_context(self):
+        """The engine's protection against the section 3.3.2 hazard:
+        'even a single collection with large size may considerably
+        degrade program performance'."""
+        context = ContextInfo(1, "HashMap")
+        _sizes(context, [2, 2, 2, 900])
+        assert not StabilityPolicy().context_is_stable(context)
+
+    def test_too_few_instances(self):
+        context = ContextInfo(1, "HashMap")
+        _sizes(context, [5])
+        assert not StabilityPolicy().context_is_stable(context)
+
+    def test_permissive_policy_accepts_anything(self):
+        context = ContextInfo(1, "HashMap")
+        _sizes(context, [1, 5000])
+        assert StabilityPolicy.permissive().context_is_stable(context)

@@ -1,0 +1,115 @@
+"""Table 1 inventory: every statistic the paper lists is gathered.
+
+Drives a small instrumented program end-to-end and asserts each Table 1
+row is available, with the heap half coming from the collection-aware GC
+and the trace half from the library counters.
+"""
+
+import pytest
+
+from repro.collections.wrappers import ChameleonList, ChameleonMap
+from repro.profiler.counters import Op
+from repro.profiler.profiler import SemanticProfiler
+from repro.runtime.context import ContextKey
+from repro.runtime.vm import RuntimeEnvironment
+
+
+@pytest.fixture
+def run():
+    """A tiny program: two contexts, mixed lifetimes, two GC cycles."""
+    vm = RuntimeEnvironment(gc_threshold_bytes=None,
+                            profiler=SemanticProfiler())
+    maps_key = ContextKey.synthetic("makeCache", "main")
+    lists_key = ContextKey.synthetic("makeBuffer", "main")
+    maps = []
+    for i in range(4):
+        mapping = ChameleonMap(vm, context=maps_key)
+        mapping.pin()
+        for k in range(3):
+            mapping.put(k, k)
+        mapping.get(0)
+        maps.append(mapping)
+    buffers = []
+    for i in range(2):
+        buffer = ChameleonList(vm, context=lists_key)
+        buffer.pin()
+        for k in range(6):
+            buffer.add(k)
+        buffers.append(buffer)
+    vm.collect()           # first cycle sees 4 maps + 2 buffers
+    for buffer in buffers:
+        buffer.unpin()
+    vm.collect()           # second cycle sees only the maps
+    vm.finish()
+    maps_id = vm.contexts.intern(maps_key)
+    lists_id = vm.contexts.intern(lists_key)
+    return vm, maps_id, lists_id
+
+
+class TestOverallHeapRows:
+    def test_overall_live_data_total_and_max(self, run):
+        vm, _, _ = run
+        agg = vm.timeline.overall_live
+        assert agg.total > 0
+        assert agg.max > 0
+        assert agg.total >= agg.max
+
+    def test_collection_live_data(self, run):
+        vm, _, _ = run
+        agg = vm.timeline.collection_live
+        assert 0 < agg.max <= vm.timeline.overall_live.max
+
+    def test_collection_used_and_core(self, run):
+        vm, _, _ = run
+        assert (vm.timeline.collection_live.max
+                >= vm.timeline.collection_used.max
+                >= vm.timeline.collection_core.max > 0)
+
+    def test_collection_object_number(self, run):
+        vm, _, _ = run
+        # First cycle: 4 maps + 2 buffers; later cycles: maps only.
+        assert vm.timeline.collection_objects.max == 6
+        assert vm.timeline.collection_objects.total >= 6 + 4
+
+
+class TestPerContextHeapRows:
+    def test_context_live_used_core_aggregates(self, run):
+        vm, maps_id, _ = run
+        context = vm.timeline.context(maps_id)
+        assert context.live.total > context.used.total > 0
+        assert context.core.total > 0
+        assert context.total_potential > 0
+
+    def test_context_object_counts(self, run):
+        vm, maps_id, lists_id = run
+        assert vm.timeline.context(maps_id).object_count.max == 4
+        lists_context = vm.timeline.context(lists_id)
+        assert lists_context.object_count.max == 2
+
+
+class TestTraceRows:
+    def test_number_of_operations(self, run):
+        vm, maps_id, _ = run
+        context = vm.profiler.context_info(maps_id)
+        assert context.total_ops == 4 * (3 + 1)  # 3 puts + 1 get each
+
+    def test_avg_and_var_operation_count(self, run):
+        vm, maps_id, _ = run
+        context = vm.profiler.context_info(maps_id)
+        assert context.op_mean(Op.PUT) == 3.0
+        assert context.op_stddev(Op.PUT) == 0.0
+        assert context.op_mean(Op.GET_OBJECT) == 1.0
+
+    def test_avg_and_var_maximal_size(self, run):
+        vm, maps_id, lists_id = run
+        maps_context = vm.profiler.context_info(maps_id)
+        assert maps_context.avg_max_size == 3.0
+        assert maps_context.max_size_stddev == 0.0
+        lists_context = vm.profiler.context_info(lists_id)
+        assert lists_context.avg_max_size == 6.0
+
+    def test_aggregation_is_per_allocation_context(self, run):
+        vm, maps_id, lists_id = run
+        assert maps_id != lists_id
+        assert vm.profiler.context_info(maps_id).src_type == "HashMap"
+        assert vm.profiler.context_info(lists_id).src_type == "ArrayList"

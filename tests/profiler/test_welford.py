@@ -1,0 +1,91 @@
+"""Streaming mean/variance accumulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.profiler.welford import Welford
+
+_floats = st.floats(min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+
+
+class TestBasics:
+    def test_empty(self):
+        w = Welford()
+        assert w.count == 0
+        assert w.variance == 0.0
+        assert w.stddev == 0.0
+        assert w.total == 0.0
+
+    def test_single_observation(self):
+        w = Welford()
+        w.observe(5.0)
+        assert w.mean == 5.0
+        assert w.variance == 0.0
+        assert (w.min, w.max) == (5.0, 5.0)
+
+    def test_known_sequence(self):
+        w = Welford()
+        for value in (2, 4, 4, 4, 5, 5, 7, 9):
+            w.observe(value)
+        assert w.mean == 5.0
+        assert w.stddev == 2.0  # classic population-stddev example
+
+    def test_extrema(self):
+        w = Welford()
+        for value in (3, -1, 7):
+            w.observe(value)
+        assert (w.min, w.max) == (-1, 7)
+
+
+class TestAgainstNumpy:
+    @given(st.lists(_floats, min_size=1, max_size=200))
+    def test_matches_numpy(self, values):
+        w = Welford()
+        for value in values:
+            w.observe(value)
+        assert w.count == len(values)
+        assert math.isclose(w.mean, float(np.mean(values)),
+                            rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(w.variance, float(np.var(values)),
+                            rel_tol=1e-6, abs_tol=1e-4)
+        assert math.isclose(w.total, float(np.sum(values)),
+                            rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestMerge:
+    @given(st.lists(_floats, max_size=100), st.lists(_floats, max_size=100))
+    def test_merge_equals_concatenation(self, left, right):
+        merged = Welford()
+        for value in left:
+            merged.observe(value)
+        other = Welford()
+        for value in right:
+            other.observe(value)
+        merged.merge(other)
+
+        direct = Welford()
+        for value in left + right:
+            direct.observe(value)
+        assert merged.count == direct.count
+        if direct.count:
+            assert math.isclose(merged.mean, direct.mean,
+                                rel_tol=1e-9, abs_tol=1e-6)
+            assert math.isclose(merged.variance, direct.variance,
+                                rel_tol=1e-6, abs_tol=1e-4)
+
+    def test_merge_into_empty(self):
+        a, b = Welford(), Welford()
+        b.observe(3.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.mean == 3.0
+
+    def test_merge_empty_is_noop(self):
+        a = Welford()
+        a.observe(1.0)
+        a.merge(Welford())
+        assert a.count == 1

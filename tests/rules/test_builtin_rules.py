@@ -1,0 +1,349 @@
+"""Every Table 2 built-in rule fires on a targeted micro-workload.
+
+Each test drives the full pipeline -- instrumented VM, wrapped collection
+usage, GC, report, rule engine -- and asserts that the intended rule is
+the context's primary suggestion.
+"""
+
+import pytest
+
+from repro.collections.wrappers import ChameleonList, ChameleonMap, ChameleonSet
+from repro.profiler.profiler import SemanticProfiler
+from repro.profiler.report import build_report
+from repro.rules.ast import ActionKind
+from repro.rules.engine import RuleEngine
+from repro.runtime.context import ContextKey
+from repro.runtime.vm import RuntimeEnvironment
+
+
+def run_and_suggest(populate, min_potential=64, constants=None):
+    """Run ``populate(vm, key)`` for one synthetic context and return the
+    context's primary suggestion (or None)."""
+    vm = RuntimeEnvironment(gc_threshold_bytes=None,
+                            profiler=SemanticProfiler())
+    key = ContextKey.synthetic("site", "caller")
+    populate(vm, key)
+    vm.collect()
+    vm.finish()
+    report = build_report(vm.profiler, vm.timeline, vm.contexts)
+    engine = RuleEngine(min_potential_bytes=min_potential,
+                        constants=constants)
+    context_id = vm.contexts.intern(key)
+    profile = report.context(context_id)
+    assert profile is not None, "context was never profiled"
+    return engine.evaluate_context(profile)
+
+
+class TestSmallMapRule:
+    """HashMap + small stable maxSize -> ArrayMap."""
+
+    def test_fires(self):
+        def populate(vm, key):
+            for _ in range(8):
+                mapping = ChameleonMap(vm, context=key)
+                mapping.pin()
+                for k in range(5):
+                    mapping.put(k, k)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.rule.text.startswith("HashMap")
+        assert suggestion.action.impl_name == "ArrayMap"
+        assert suggestion.category.value == "Space/Time"
+
+    def test_does_not_fire_for_large_maps(self):
+        def populate(vm, key):
+            for _ in range(8):
+                mapping = ChameleonMap(vm, context=key)
+                mapping.pin()
+                for k in range(50):
+                    mapping.put(k, k)
+
+        suggestion = run_and_suggest(populate)
+        assert (suggestion is None
+                or suggestion.action.impl_name != "ArrayMap")
+
+    def test_blocked_by_unstable_sizes(self):
+        """Sizes 1,1,1,400 must not trigger the small-map replacement
+        (the section 3.3.2 hazard)."""
+        def populate(vm, key):
+            sizes = [2, 2, 2, 2, 2, 2, 2, 400]
+            for size in sizes:
+                mapping = ChameleonMap(vm, context=key)
+                mapping.pin()
+                for k in range(size):
+                    mapping.put(k, k)
+
+        suggestion = run_and_suggest(populate)
+        assert (suggestion is None
+                or suggestion.action.impl_name != "ArrayMap")
+
+
+class TestSmallSetRule:
+    def test_fires(self):
+        def populate(vm, key):
+            for _ in range(8):
+                s = ChameleonSet(vm, context=key)
+                s.pin()
+                for k in range(4):
+                    s.add(k)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "ArraySet"
+
+
+class TestEmptyCollectionRules:
+    def test_empty_array_list_goes_lazy(self):
+        def populate(vm, key):
+            for _ in range(16):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                lst.size()  # touched but never filled
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "LazyArrayList"
+
+    def test_empty_linked_list_goes_lazy(self):
+        """The bloat context: empty LinkedLists still carry sentinel
+        entries."""
+        def populate(vm, key):
+            for _ in range(16):
+                lst = ChameleonList(vm, src_type="LinkedList", context=key)
+                lst.pin()
+                lst.is_empty()
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "LazyArrayList"
+        assert "empty" in suggestion.message
+
+    def test_empty_map_goes_lazy(self):
+        def populate(vm, key):
+            for _ in range(16):
+                mapping = ChameleonMap(vm, context=key)
+                mapping.pin()
+                mapping.contains_key("x")
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "LazyMap"
+
+    def test_empty_set_goes_lazy(self):
+        def populate(vm, key):
+            for _ in range(16):
+                s = ChameleonSet(vm, context=key)
+                s.pin()
+                s.contains("x")
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "LazySet"
+
+
+class TestRedundantCollectionRule:
+    def test_never_touched_collections(self):
+        def populate(vm, key):
+            for _ in range(16):
+                ChameleonMap(vm, context=key).pin()
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.kind is ActionKind.AVOID_ALLOCATION
+        assert suggestion.auto_applicable  # applied as the lazy variant
+
+    def test_used_collections_not_flagged(self):
+        def populate(vm, key):
+            for _ in range(16):
+                mapping = ChameleonMap(vm, context=key)
+                mapping.pin()
+                mapping.put(1, 1)
+
+        suggestion = run_and_suggest(populate)
+        assert (suggestion is None
+                or suggestion.action.kind is not ActionKind.AVOID_ALLOCATION)
+
+
+class TestTemporariesRule:
+    def test_copy_only_collections(self):
+        """Collections created by copy-construction whose only use is
+        being copied out (#allOps == #copied)."""
+        def populate(vm, key):
+            source = ChameleonList(vm)
+            source.pin()
+            source.add("v")
+            for _ in range(8):
+                temp = ChameleonList(vm, context=key, copy_from=source)
+                temp.pin()
+                sink = ChameleonList(vm)
+                sink.pin()
+                sink.add_all(temp)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.kind is ActionKind.ELIMINATE_TEMPORARIES
+        assert not suggestion.auto_applicable
+
+
+class TestContainsHeavyListRule:
+    def test_fires(self):
+        def populate(vm, key):
+            for _ in range(4):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                for i in range(40):
+                    lst.add(i)
+                for i in range(40):
+                    lst.contains(i)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "LinkedHashSet"
+        assert suggestion.category.value == "Time"
+
+    def test_blocked_by_indexed_reads(self):
+        """The refined rule must not fire when the program also uses
+        get(i) -- the hash-backed list would degrade it."""
+        def populate(vm, key):
+            for _ in range(4):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                for i in range(40):
+                    lst.add(i)
+                for i in range(40):
+                    lst.contains(i)
+                    lst.get(i)
+
+        suggestion = run_and_suggest(populate)
+        assert (suggestion is None
+                or suggestion.action.impl_name != "LinkedHashSet")
+
+
+class TestLinkedListRules:
+    def test_random_access_suggests_array_list(self):
+        def populate(vm, key):
+            for _ in range(4):
+                lst = ChameleonList(vm, src_type="LinkedList", context=key)
+                lst.pin()
+                for i in range(30):
+                    lst.add(i)
+                for i in range(30):
+                    lst.get(i)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "ArrayList"
+        assert "get(i)" in suggestion.message or "random" in suggestion.message
+
+    def test_append_only_linked_list_suggests_array_list(self):
+        """Table 2: LinkedList overhead not justified without middle/head
+        operations."""
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, src_type="LinkedList", context=key)
+                lst.pin()
+                for i in range(10):
+                    lst.add(i)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "ArrayList"
+        assert "overhead" in suggestion.message
+
+    def test_head_removal_justifies_linked_list(self):
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, src_type="LinkedList", context=key)
+                lst.pin()
+                for i in range(10):
+                    lst.add(i)
+                for _ in range(5):
+                    lst.remove_first()
+
+        suggestion = run_and_suggest(populate)
+        assert (suggestion is None
+                or suggestion.action.impl_name != "ArrayList")
+
+
+class TestSingletonRule:
+    def test_fires_for_constructed_singletons(self):
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                lst.add("the one")
+                lst.get(0)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.impl_name == "SingletonList"
+
+    def test_blocked_by_mutation(self):
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                lst.add("the one")
+                lst.set_at(0, "another")
+
+        suggestion = run_and_suggest(populate)
+        assert (suggestion is None
+                or suggestion.action.impl_name != "SingletonList")
+
+
+class TestIteratorRule:
+    def test_fires_for_empty_only_iteration(self):
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                for _ in range(6):
+                    list(lst.iterate())
+
+        suggestion = run_and_suggest(populate)
+        # The empty-list rule ranks first; the iterator advice must be
+        # among the matches for the context.
+        kinds = [suggestion.action.kind] + [
+            s.action.kind for s in suggestion.secondary]
+        assert ActionKind.EMPTY_ITERATOR in kinds
+
+    def test_silent_for_nonempty_iteration(self):
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                lst.add(1)
+                for _ in range(6):
+                    list(lst.iterate())
+
+        suggestion = run_and_suggest(populate)
+        kinds = [] if suggestion is None else (
+            [suggestion.action.kind]
+            + [s.action.kind for s in suggestion.secondary])
+        assert ActionKind.EMPTY_ITERATOR not in kinds
+
+
+class TestCapacityRules:
+    def test_incremental_resizing(self):
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, context=key)
+                lst.pin()
+                for i in range(40):
+                    lst.add(i)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.kind is ActionKind.SET_CAPACITY
+        assert suggestion.resolved_capacity == 40
+
+    def test_oversized_capacity(self):
+        def populate(vm, key):
+            for _ in range(40):
+                lst = ChameleonList(vm, context=key, initial_capacity=50)
+                lst.pin()
+                lst.add(1)
+                lst.add(2)
+
+        suggestion = run_and_suggest(populate)
+        assert suggestion.action.kind is ActionKind.SET_CAPACITY
+        assert suggestion.resolved_capacity == 2
+        assert "exceeds" in suggestion.message
+
+    def test_well_sized_collections_are_silent(self):
+        def populate(vm, key):
+            for _ in range(8):
+                lst = ChameleonList(vm, context=key, initial_capacity=6)
+                lst.pin()
+                for i in range(5):
+                    lst.add(i)
+
+        assert run_and_suggest(populate) is None

@@ -1,0 +1,183 @@
+"""Rule engine: type matching, gating, priority, ranking, rendering."""
+
+import pytest
+
+from repro.collections.base import CollectionKind
+from repro.profiler.stability import StabilityPolicy
+from repro.rules.builtin import DEFAULT_CONSTANTS, RuleSpec
+from repro.rules.engine import RuleEngine
+from repro.rules.evaluator import EvaluationError
+from repro.rules.suggestions import RuleCategory
+
+from tests.rules.test_evaluator import make_profile
+
+
+def spec(text, name="r", category=RuleCategory.SPACE, stable=False,
+         gated=False):
+    return RuleSpec.parse(name, text, category, "msg",
+                          requires_stable_size=stable, space_gated=gated)
+
+
+class TestTypeMatching:
+    def test_exact_type(self):
+        engine = RuleEngine(rules=[
+            spec("HashMap : instances > 0 -> ArrayMap")])
+        hash_map = make_profile(sizes=[1], src="HashMap",
+                                kind=CollectionKind.MAP)
+        array_list = make_profile(sizes=[1], src="ArrayList",
+                                  kind=CollectionKind.LIST)
+        assert engine.evaluate_context(hash_map) is not None
+        assert engine.evaluate_context(array_list) is None
+
+    def test_kind_names(self):
+        engine = RuleEngine(rules=[
+            spec("Map : instances > 0 -> ArrayMap")])
+        hash_map = make_profile(sizes=[1], src="HashMap",
+                                kind=CollectionKind.MAP)
+        linked = make_profile(sizes=[1], src="LinkedHashMap",
+                              kind=CollectionKind.MAP)
+        lst = make_profile(sizes=[1], src="ArrayList",
+                           kind=CollectionKind.LIST)
+        assert engine.evaluate_context(hash_map) is not None
+        assert engine.evaluate_context(linked) is not None
+        assert engine.evaluate_context(lst) is None
+
+    def test_collection_matches_everything(self):
+        engine = RuleEngine(rules=[
+            spec("Collection : instances > 0 -> avoid")])
+        for kind, src in ((CollectionKind.MAP, "HashMap"),
+                          (CollectionKind.SET, "HashSet"),
+                          (CollectionKind.LIST, "LinkedList")):
+            profile = make_profile(sizes=[1], src=src, kind=kind)
+            assert engine.evaluate_context(profile) is not None
+
+
+class TestGating:
+    def test_stability_gate_blocks(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> ArraySet", stable=True)])
+        unstable = make_profile(sizes=[1, 1, 1, 500])
+        stable_profile = make_profile(sizes=[5, 5, 5, 5])
+        assert engine.evaluate_context(unstable) is None
+        assert engine.evaluate_context(stable_profile) is not None
+
+    def test_permissive_stability_policy(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> ArraySet", stable=True)],
+            stability=StabilityPolicy.permissive())
+        unstable = make_profile(sizes=[1, 1, 1, 500])
+        assert engine.evaluate_context(unstable) is not None
+
+    def test_potential_gate_blocks_space_rules(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> ArraySet", gated=True)],
+            min_potential_bytes=100)
+        negligible = make_profile(sizes=[1], heap_cycles=[(100, 90, 10)])
+        worthwhile = make_profile(sizes=[1], heap_cycles=[(500, 100, 10)])
+        assert engine.evaluate_context(negligible) is None
+        assert engine.evaluate_context(worthwhile) is not None
+
+    def test_time_rules_ignore_potential(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> ArraySet",
+                 category=RuleCategory.TIME)],
+            min_potential_bytes=10**9)
+        profile = make_profile(sizes=[1])
+        assert engine.evaluate_context(profile) is not None
+
+
+class TestPriorityAndRanking:
+    def test_first_match_is_primary(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> First", name="a"),
+            spec("ArrayList : instances > 0 -> Second", name="b")])
+        suggestion = engine.evaluate_context(make_profile(sizes=[1]))
+        assert suggestion.action.impl_name == "First"
+        assert [s.action.impl_name for s in suggestion.secondary] == ["Second"]
+
+    def test_evaluate_ranks_by_potential(self):
+        engine = RuleEngine(rules=[
+            spec("Collection : instances > 0 -> avoid")])
+        small = make_profile(sizes=[1], heap_cycles=[(100, 90, 10)])
+        small.info.context_id = 1
+        big = make_profile(sizes=[1], heap_cycles=[(1000, 100, 10)])
+        big.context_id = 2
+        big.info.context_id = 2
+
+        class FakeReport:
+            profiles = [small, big]
+
+        suggestions = engine.evaluate(FakeReport())
+        assert [s.potential_bytes for s in suggestions] == sorted(
+            (s.potential_bytes for s in suggestions), reverse=True)
+
+    def test_no_match_returns_none(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : maxSize > 100 -> ArraySet")])
+        assert engine.evaluate_context(make_profile(sizes=[1])) is None
+
+
+class TestConstants:
+    def test_defaults_available(self):
+        engine = RuleEngine()
+        assert engine.constants["SMALL_SIZE"] == DEFAULT_CONSTANTS["SMALL_SIZE"]
+
+    def test_overrides_merge(self):
+        engine = RuleEngine(constants={"SMALL_SIZE": 99})
+        assert engine.constants["SMALL_SIZE"] == 99
+        assert "CONTAINS_HEAVY" in engine.constants
+
+    def test_unbound_constant_is_configuration_error(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : maxSize < NOT_BOUND -> ArraySet")])
+        with pytest.raises(EvaluationError):
+            engine.evaluate_context(make_profile(sizes=[1]))
+
+
+class TestCapacityResolution:
+    def test_max_size_capacity_resolves_conservatively(self):
+        """Tight sizes resolve near the average (avg - stddev), so the
+        capacity never overshoots the typical small instance."""
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> setCapacity(maxSize)")])
+        constant = engine.evaluate_context(make_profile(sizes=[6, 6]))
+        assert constant.resolved_capacity == 6
+        mixed = engine.evaluate_context(make_profile(sizes=[5, 6]))
+        assert mixed.resolved_capacity == 5  # ceil(5.5 - 0.5)
+
+    def test_replacement_without_capacity_gets_sized_from_profile(self):
+        engine = RuleEngine(rules=[
+            spec("LinkedList : instances > 0 -> ArrayList")])
+        from repro.collections.base import CollectionKind
+        stable = engine.evaluate_context(make_profile(
+            sizes=[6, 6, 6], src="LinkedList", kind=CollectionKind.LIST))
+        assert stable.resolved_capacity == 6
+        unstable = engine.evaluate_context(make_profile(
+            sizes=[2, 2, 2, 40], src="LinkedList",
+            kind=CollectionKind.LIST))
+        assert unstable.resolved_capacity == 40  # observed maximum
+
+    def test_literal_capacity_passes_through(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> ArrayList(32)")])
+        suggestion = engine.evaluate_context(make_profile(sizes=[1]))
+        assert suggestion.resolved_capacity == 32
+
+    def test_capacity_floor_is_one(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> setCapacity(maxSize)")])
+        suggestion = engine.evaluate_context(make_profile(sizes=[0, 0]))
+        assert suggestion.resolved_capacity == 1
+
+
+class TestRendering:
+    def test_render_empty(self):
+        assert "No collection adaptations" in RuleEngine.render([])
+
+    def test_render_numbers_suggestions(self):
+        engine = RuleEngine(rules=[
+            spec("ArrayList : instances > 0 -> ArraySet")])
+        suggestion = engine.evaluate_context(make_profile(sizes=[1]))
+        text = RuleEngine.render([suggestion])
+        assert text.startswith("1: ")
+        assert "replace with ArraySet" in text

@@ -1,0 +1,97 @@
+"""Tokenizer for the Fig. 4 rule language."""
+
+import pytest
+
+from repro.rules.lexer import LexError, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text) if token.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_punctuation(self):
+        assert kinds("ArrayList : maxSize -> ArraySet") == [
+            "IDENT", ":", "IDENT", "->", "IDENT", "EOF"]
+
+    def test_numbers(self):
+        tokens = tokenize("12 3.5")
+        assert [(t.kind, t.value) for t in tokens[:2]] == [
+            ("NUMBER", "12"), ("NUMBER", "3.5")]
+
+    def test_comparators(self):
+        assert kinds("a == b != c <= d >= e < f > g")[1::2][:6] == [
+            "==", "!=", "<=", ">=", "<", ">"]
+
+    def test_boolean_operators(self):
+        assert kinds("a & b | !c") == ["IDENT", "&", "IDENT", "|", "!",
+                                       "IDENT", "EOF"]
+
+    def test_double_style_booleans(self):
+        assert kinds("a && b || c") == ["IDENT", "&&", "IDENT", "||",
+                                        "IDENT", "EOF"]
+
+    def test_arithmetic(self):
+        assert kinds("1 + 2 * 3 / 4 - 5")[1::2][:4] == ["+", "*", "/", "-"]
+
+    def test_whitespace_ignored(self):
+        assert values("  a   +\tb ") == ["a", "+", "b"]
+
+    def test_member_access_dot(self):
+        assert kinds("collection.size") == ["IDENT", ".", "IDENT", "EOF"]
+
+
+class TestCounters:
+    def test_plain_op_counter(self):
+        token = tokenize("#add")[0]
+        assert (token.kind, token.value) == ("OPCOUNT", "#add")
+
+    def test_op_counter_with_argument(self):
+        token = tokenize("#get(int)")[0]
+        assert token.value == "#get(int)"
+
+    def test_multi_argument_canonicalised(self):
+        """Table 2 writes '#add(int, Object)'; the canonical name keeps
+        only the first argument."""
+        token = tokenize("#add(int, Object)")[0]
+        assert token.value == "#add(int)"
+
+    def test_variance_counter(self):
+        token = tokenize("@remove")[0]
+        assert (token.kind, token.value) == ("OPVAR", "@remove")
+
+    def test_counter_in_expression(self):
+        assert values("#contains > X") == ["#contains", ">", "X"]
+
+    def test_missing_name_after_sigil(self):
+        with pytest.raises(LexError):
+            tokenize("# add")
+
+    def test_unterminated_argument_list(self):
+        with pytest.raises(LexError):
+            tokenize("#get(int")
+
+    def test_empty_argument_list(self):
+        with pytest.raises(LexError):
+            tokenize("#get()")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a ? b")
+        assert excinfo.value.position == 2
+
+    def test_eof_token_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "EOF"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

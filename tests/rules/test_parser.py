@@ -1,0 +1,172 @@
+"""Parser for the Fig. 4 rule language."""
+
+import pytest
+
+from repro.profiler.counters import Op
+from repro.rules.ast import (ActionKind, AndCond, BinaryOp, CAPACITY_MAX_SIZE,
+                             Comparison, ConstRef, DataRef, Number, NotCond,
+                             OpCount, OpVariance, OrCond)
+from repro.rules.parser import ParseError, parse_condition, parse_rule
+
+
+class TestRuleShape:
+    def test_simple_replacement_rule(self):
+        rule = parse_rule("HashSet : maxSize < X -> ArraySet")
+        assert rule.src_type == "HashSet"
+        assert rule.action.kind is ActionKind.REPLACE
+        assert rule.action.impl_name == "ArraySet"
+        condition = rule.condition
+        assert isinstance(condition, Comparison)
+        assert condition.operator == "<"
+        assert condition.left == DataRef("maxSize")
+        assert condition.right == ConstRef("X")
+
+    def test_rule_with_capacity(self):
+        rule = parse_rule("ArrayList : maxSize > 4 -> ArrayList(32)")
+        assert rule.action.capacity == 32
+
+    def test_rule_with_max_size_capacity(self):
+        rule = parse_rule("Collection : maxSize > initialCapacity "
+                          "-> setCapacity(maxSize)")
+        assert rule.action.kind is ActionKind.SET_CAPACITY
+        assert rule.action.capacity == CAPACITY_MAX_SIZE
+
+    def test_advice_actions(self):
+        assert parse_rule("Collection : allOps == 0 -> avoid"
+                          ).action.kind is ActionKind.AVOID_ALLOCATION
+        assert parse_rule("Collection : allOps == 0 -> eliminateTemporaries"
+                          ).action.kind is ActionKind.ELIMINATE_TEMPORARIES
+        assert parse_rule("Collection : allOps == 0 -> emptyIterator"
+                          ).action.kind is ActionKind.EMPTY_ITERATOR
+
+    def test_text_preserved(self):
+        text = "HashSet : maxSize < X -> ArraySet"
+        assert parse_rule(text).render() == text
+
+    def test_paper_rule_one(self):
+        """Section 3.3: 'ArrayList : #contains>X & maxSize>Y ->
+        LinkedHashSet'."""
+        rule = parse_rule(
+            "ArrayList : #contains > X & maxSize > Y -> LinkedHashSet")
+        assert isinstance(rule.condition, AndCond)
+        assert rule.action.impl_name == "LinkedHashSet"
+
+    def test_paper_linked_list_rule(self):
+        """Table 2's middle-operations rule parses with the multi-argument
+        counter names as printed."""
+        rule = parse_rule(
+            "LinkedList : (#add(int, Object) + #addAll(int, Collection) "
+            "+ #remove(int) + #removeFirst) < X -> ArrayList")
+        condition = rule.condition
+        assert isinstance(condition, Comparison)
+        assert isinstance(condition.left, BinaryOp)
+
+
+class TestExpressions:
+    def test_counters_resolve_to_ops(self):
+        condition = parse_condition("#get(int) > 3")
+        assert condition.left == OpCount(Op.GET_INDEX)
+
+    def test_variance_counters(self):
+        condition = parse_condition("@add < 1")
+        assert condition.left == OpVariance(Op.ADD)
+
+    def test_all_ops_is_data(self):
+        condition = parse_condition("#allOps == 0")
+        assert condition.left == DataRef("allOps")
+
+    def test_collection_dot_size(self):
+        """The Table 2 iterator rule writes 'collection.size'."""
+        condition = parse_condition("collection.size == 0")
+        assert condition.left == DataRef("size")
+
+    def test_unknown_counter_rejected_with_hint(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_condition("#frobnicate > 1")
+        assert "known" in str(excinfo.value)
+
+    def test_arithmetic_precedence(self):
+        condition = parse_condition("1 + 2 * 3 == 7")
+        left = condition.left
+        assert isinstance(left, BinaryOp) and left.operator == "+"
+        assert isinstance(left.right, BinaryOp)
+        assert left.right.operator == "*"
+
+    def test_parenthesised_arithmetic(self):
+        condition = parse_condition("(#add + #remove) < 2")
+        assert isinstance(condition.left, BinaryOp)
+
+    def test_numbers_parse_as_floats(self):
+        condition = parse_condition("maxSize > 1.5")
+        assert condition.right == Number(1.5)
+
+    def test_single_equals_accepted(self):
+        """The paper's grammar writes 'expr = constant'."""
+        condition = parse_condition("#remove = 0")
+        assert condition.operator == "=="
+
+
+class TestBooleanStructure:
+    def test_and_or_precedence(self):
+        condition = parse_condition("a > 1 & b > 2 | c > 3")
+        assert isinstance(condition, OrCond)
+        assert isinstance(condition.left, AndCond)
+
+    def test_not(self):
+        condition = parse_condition("!(maxSize == 0)")
+        assert isinstance(condition, NotCond)
+
+    def test_parenthesised_booleans(self):
+        condition = parse_condition("(a > 1 | b > 2) & c > 3")
+        assert isinstance(condition, AndCond)
+        assert isinstance(condition.left, OrCond)
+
+    def test_double_style_operators(self):
+        condition = parse_condition("a > 1 && b > 2 || c > 3")
+        assert isinstance(condition, OrCond)
+
+
+class TestTypeErrors:
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(ParseError):
+            parse_rule("ArrayList : maxSize + 1 -> ArraySet")
+
+    def test_boolean_operand_of_arithmetic_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condition("(a > 1) + 2 == 3")
+
+    def test_arithmetic_operand_of_and_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condition("maxSize & 1 > 0")
+
+    def test_not_binds_looser_than_comparison(self):
+        """``!maxSize > 1`` reads as ``!(maxSize > 1)``."""
+        condition = parse_condition("!maxSize > 1")
+        assert isinstance(condition, NotCond)
+        assert isinstance(condition.operand, Comparison)
+
+    def test_bare_not_of_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condition("!maxSize")
+
+
+class TestActionErrors:
+    def test_set_capacity_requires_argument(self):
+        with pytest.raises(ParseError):
+            parse_rule("Collection : maxSize > 0 -> setCapacity")
+
+    def test_advice_takes_no_capacity(self):
+        with pytest.raises(ParseError):
+            parse_rule("Collection : maxSize > 0 -> avoid(3)")
+
+    def test_capacity_must_be_int_or_max_size(self):
+        with pytest.raises(ParseError):
+            parse_rule("Collection : maxSize > 0 -> ArrayList(avg)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("HashSet : maxSize < 2 -> ArraySet junk")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("HashSet : maxSize < 2 ArraySet")

@@ -1,0 +1,100 @@
+"""Suggestion records: choices, applicability, rendering."""
+
+import pytest
+
+from repro.collections.base import CollectionKind
+from repro.rules.ast import Action, ActionKind, Rule
+from repro.rules.parser import parse_rule
+from repro.rules.suggestions import LAZY_IMPL_BY_KIND, RuleCategory, Suggestion
+
+from tests.rules.test_evaluator import make_profile
+
+
+def make_suggestion(action, kind=CollectionKind.LIST, capacity=None,
+                    src="ArrayList"):
+    profile = make_profile(sizes=[1], src=src, kind=kind,
+                           heap_cycles=[(100, 50, 10)])
+    rule = parse_rule("Collection : instances > 0 -> avoid")
+    return Suggestion(profile=profile, rule=rule, action=action,
+                      category=RuleCategory.SPACE, message="msg",
+                      resolved_capacity=capacity)
+
+
+class TestToChoice:
+    def test_replace(self):
+        suggestion = make_suggestion(
+            Action(ActionKind.REPLACE, impl_name="ArraySet"), capacity=4)
+        choice = suggestion.to_choice()
+        assert choice.impl_name == "ArraySet"
+        assert choice.initial_capacity == 4
+        assert suggestion.auto_applicable
+
+    def test_set_capacity(self):
+        suggestion = make_suggestion(Action(ActionKind.SET_CAPACITY,
+                                            capacity=8), capacity=8)
+        choice = suggestion.to_choice()
+        assert choice.impl_name is None
+        assert choice.initial_capacity == 8
+
+    @pytest.mark.parametrize("kind,expected", [
+        (CollectionKind.LIST, "LazyArrayList"),
+        (CollectionKind.SET, "LazySet"),
+        (CollectionKind.MAP, "LazyMap")])
+    def test_avoid_maps_to_lazy_per_kind(self, kind, expected):
+        suggestion = make_suggestion(Action(ActionKind.AVOID_ALLOCATION),
+                                     kind=kind)
+        assert suggestion.to_choice().impl_name == expected
+        assert LAZY_IMPL_BY_KIND[kind] == expected
+
+    def test_avoid_without_kind_is_manual(self):
+        suggestion = make_suggestion(Action(ActionKind.AVOID_ALLOCATION),
+                                     kind=None)
+        assert suggestion.to_choice() is None
+        assert not suggestion.auto_applicable
+
+    @pytest.mark.parametrize("kind", [ActionKind.ELIMINATE_TEMPORARIES,
+                                      ActionKind.EMPTY_ITERATOR])
+    def test_manual_advice_is_not_applicable(self, kind):
+        suggestion = make_suggestion(Action(kind))
+        assert suggestion.to_choice() is None
+        assert not suggestion.auto_applicable
+
+
+class TestRendering:
+    def test_ranked_render(self):
+        suggestion = make_suggestion(
+            Action(ActionKind.REPLACE, impl_name="ArraySet"))
+        text = suggestion.render(3)
+        assert text.startswith("3: ")
+        assert "replace with ArraySet" in text
+        assert "[Space]" in text
+
+    def test_unranked_render(self):
+        suggestion = make_suggestion(Action(ActionKind.AVOID_ALLOCATION))
+        assert not suggestion.render().startswith("1:")
+
+    def test_set_capacity_shows_resolved_value(self):
+        suggestion = make_suggestion(
+            Action(ActionKind.SET_CAPACITY, capacity="maxSize"),
+            capacity=17)
+        assert "(17)" in suggestion.render()
+
+    def test_potential_exposed(self):
+        suggestion = make_suggestion(Action(ActionKind.AVOID_ALLOCATION))
+        assert suggestion.potential_bytes == 50  # 100 live - 50 used
+
+
+class TestActionRendering:
+    def test_action_render_variants(self):
+        assert Action(ActionKind.REPLACE, "ArrayMap").render() == \
+            "replace with ArrayMap"
+        assert Action(ActionKind.REPLACE, "ArrayMap",
+                      capacity=5).render() == "replace with ArrayMap(5)"
+        assert "set initial capacity" in Action(
+            ActionKind.SET_CAPACITY, capacity=3).render()
+        assert Action(ActionKind.AVOID_ALLOCATION).render() == \
+            "avoid allocation"
+
+    def test_rule_render_fallback(self):
+        rule = Rule("X", None, Action(ActionKind.AVOID_ALLOCATION), text="")
+        assert "X" in rule.render()

@@ -1,0 +1,116 @@
+"""Allocation-context capture, rendering and interning."""
+
+from repro.runtime.context import (ContextFrame, ContextKey, ContextRegistry,
+                                   capture_context)
+
+
+def _inner_site(depth=2):
+    return capture_context(depth=depth, skip=0)
+
+
+def _outer_caller(depth=2):
+    return _inner_site(depth)
+
+
+class TestCapture:
+    def test_capture_names_application_frames(self):
+        key, walked = _outer_caller()
+        assert key.depth == 2
+        assert "_inner_site" in key.frames[0].location
+        assert "_outer_caller" in key.frames[1].location
+        assert walked >= 2
+
+    def test_capture_respects_depth(self):
+        key, _ = _outer_caller(depth=1)
+        assert key.depth == 1
+        assert "_inner_site" in key.frames[0].location
+
+    def test_same_site_same_key(self):
+        key_a, _ = _outer_caller()
+        key_b, _ = _outer_caller()
+        assert key_a == key_b
+
+    def test_different_sites_differ(self):
+        key_a, _ = _outer_caller()
+        key_b, _ = _inner_site()
+        assert key_a != key_b
+
+    def test_walked_counts_examined_frames(self):
+        def deep3():
+            return _inner_site(depth=3)
+        _, walked = deep3()
+        assert walked >= 3
+
+
+class TestContextKey:
+    def test_render_format(self):
+        key = ContextKey((ContextFrame("pkg.factory", 31),
+                          ContextFrame("pkg.caller", 50)))
+        assert key.render() == "pkg.factory:31;pkg.caller:50"
+
+    def test_site_is_innermost(self):
+        key = ContextKey.synthetic("factory", "caller")
+        assert key.site.location == "factory"
+
+    def test_empty_key(self):
+        key = ContextKey(())
+        assert key.site is None
+        assert key.render() == ""
+
+    def test_synthetic_keys_are_hashable_and_equal(self):
+        a = ContextKey.synthetic("f", "g")
+        b = ContextKey.synthetic("f", "g")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestContextRegistry:
+    def test_interning_is_stable(self):
+        registry = ContextRegistry()
+        key = ContextKey.synthetic("a")
+        first = registry.intern(key)
+        second = registry.intern(key)
+        assert first == second
+        assert len(registry) == 1
+
+    def test_ids_are_dense_from_one(self):
+        registry = ContextRegistry()
+        ids = [registry.intern(ContextKey.synthetic(name))
+               for name in ("a", "b", "c")]
+        assert ids == [1, 2, 3]
+
+    def test_describe_roundtrip(self):
+        registry = ContextRegistry()
+        key = ContextKey.synthetic("a", "b")
+        context_id = registry.intern(key)
+        assert registry.describe(context_id) == key
+
+    def test_capture_via_registry(self):
+        registry = ContextRegistry(depth=2)
+
+        def site():
+            return registry.capture(skip=0)
+
+        results = [site() for _ in range(2)]  # one call site, one context
+        assert results[0][0] == results[1][0]
+        assert results[0][1] >= 1
+        context_id = results[0][0]
+        assert "site" in registry.describe(context_id).frames[0].location
+
+    def test_distinct_call_lines_are_distinct_contexts(self):
+        """The context is the call stack: two different call sites of
+        the same factory must intern to two different contexts."""
+        registry = ContextRegistry(depth=2)
+
+        def site():
+            return registry.capture(skip=0)
+
+        id_a, _ = site()
+        id_b, _ = site()  # different caller line => different context
+        assert id_a != id_b
+
+    def test_ids_iteration(self):
+        registry = ContextRegistry()
+        registry.intern(ContextKey.synthetic("a"))
+        registry.intern(ContextKey.synthetic("b"))
+        assert sorted(registry.ids()) == [1, 2]

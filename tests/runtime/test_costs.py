@@ -1,0 +1,70 @@
+"""Cost model and virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.costs import CostModel, VMClock
+
+
+class TestVMClock:
+    def test_charges_accumulate(self):
+        clock = VMClock()
+        clock.charge(5)
+        clock.charge(7)
+        assert clock.now == 12
+
+    def test_zero_charge_allowed(self):
+        clock = VMClock()
+        clock.charge(0)
+        assert clock.now == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            VMClock().charge(-1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6)))
+    def test_clock_is_sum_of_charges(self, charges):
+        clock = VMClock()
+        for ticks in charges:
+            clock.charge(ticks)
+        assert clock.now == sum(charges)
+
+
+class TestCostModel:
+    def test_allocation_ticks_scale_with_size(self):
+        costs = CostModel(alloc_base=4, alloc_per_16_bytes=1)
+        assert costs.allocation_ticks(0) == 4
+        assert costs.allocation_ticks(16) == 5
+        assert costs.allocation_ticks(160) == 14
+
+    def test_context_capture_ticks(self):
+        costs = CostModel(stack_walk_base=100, stack_walk_per_frame=10)
+        assert costs.context_capture_ticks(0) == 100
+        assert costs.context_capture_ticks(3) == 130
+
+    def test_capture_dwarfs_collection_operations(self):
+        """The section 5.4 asymmetry: one context capture costs many
+        hash operations."""
+        costs = CostModel()
+        one_hash_op = costs.hash_compute + costs.hash_probe
+        assert costs.context_capture_ticks(2) > 10 * one_hash_op
+
+    def test_hashing_beats_scanning_only_at_size(self):
+        """'In the realm of small sizes, constants matter': a hash probe
+        costs more than scanning a handful of array slots."""
+        costs = CostModel()
+        hash_lookup = costs.hash_compute + costs.hash_probe
+        small_scan = 4 * costs.array_scan_per_element
+        big_scan = 64 * costs.array_scan_per_element
+        assert small_scan < hash_lookup < big_scan
+
+    def test_with_overrides_returns_new_model(self):
+        base = CostModel()
+        tweaked = base.with_overrides(hash_compute=99)
+        assert tweaked.hash_compute == 99
+        assert base.hash_compute != 99
+        assert tweaked.array_access == base.array_access
+
+    def test_model_is_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().hash_compute = 1

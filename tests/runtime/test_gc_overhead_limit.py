@@ -1,0 +1,86 @@
+"""The GC-overhead-limit OOM semantics (the HotSpot/J9 analog).
+
+Without this guard the minimal-heap measure degenerates: a program whose
+live set sits a few bytes under the limit would "run" by collecting on
+every allocation.  The runtime instead declares OutOfMemory after several
+consecutive low-yield forced collections.
+"""
+
+import pytest
+
+from repro.memory.heap import OutOfMemoryError
+from repro.runtime.vm import RuntimeEnvironment
+
+
+def _fill_live(vm, bytes_total, chunk=256):
+    holder = vm.allocate_data("Holder", ref_fields=2)
+    vm.add_root(holder)
+    allocated = vm.model.align(vm.model.object_size(ref_fields=2))
+    while allocated < bytes_total:
+        obj = vm.allocate("Live", chunk)
+        holder.add_ref(obj.obj_id)
+        allocated += vm.model.align(chunk)
+    return holder
+
+
+class TestOverheadLimit:
+    def test_razor_thin_heap_is_declared_oom(self):
+        """Live set just under the limit + steady garbage: each forced
+        collection frees almost nothing, so the run must OOM rather than
+        crawl."""
+        vm = RuntimeEnvironment(heap_limit=64 * 1024,
+                                gc_threshold_bytes=None,
+                                gc_overhead_fraction=0.04,
+                                gc_overhead_limit=4)
+        _fill_live(vm, 63 * 1024)
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(10_000):
+                vm.allocate("Scratch", 128)
+
+    def test_healthy_headroom_runs_forever(self):
+        """With real headroom, every forced collection reclaims a full
+        batch of garbage and the guard never trips."""
+        vm = RuntimeEnvironment(heap_limit=64 * 1024,
+                                gc_threshold_bytes=None,
+                                gc_overhead_fraction=0.04,
+                                gc_overhead_limit=4)
+        _fill_live(vm, 32 * 1024)
+        for _ in range(10_000):
+            vm.allocate("Scratch", 128)
+        assert vm.gc.cycle_count > 0
+        assert not vm.oom_raised
+
+    def test_guard_can_be_disabled(self):
+        """gc_overhead_fraction=0 reverts to pure capacity semantics."""
+        vm = RuntimeEnvironment(heap_limit=64 * 1024,
+                                gc_threshold_bytes=None,
+                                gc_overhead_fraction=0.0)
+        _fill_live(vm, 63 * 1024)
+        for _ in range(2_000):
+            vm.allocate("Scratch", 128)  # crawls, but must not OOM
+        assert not vm.oom_raised
+
+    def test_one_productive_gc_resets_the_counter(self):
+        """Low-yield collections must be *consecutive*: a productive one
+        in between resets the strike count."""
+        vm = RuntimeEnvironment(heap_limit=64 * 1024,
+                                gc_threshold_bytes=None,
+                                gc_overhead_fraction=0.04,
+                                gc_overhead_limit=4)
+        _fill_live(vm, 58 * 1024)
+        # Alternate tiny scratch (low-yield pressure) with a large batch
+        # of garbage (productive collection).
+        for _ in range(200):
+            for _ in range(3):
+                vm.allocate("Tiny", 64)
+            vm.allocate("Big", 4 * 1024)
+        assert not vm.oom_raised
+
+    def test_oom_from_capacity_still_raises_first(self):
+        """A live set that simply cannot fit raises immediately,
+        independent of the overhead guard."""
+        vm = RuntimeEnvironment(heap_limit=8 * 1024,
+                                gc_threshold_bytes=None)
+        with pytest.raises(OutOfMemoryError):
+            _fill_live(vm, 16 * 1024)
+        assert vm.oom_raised

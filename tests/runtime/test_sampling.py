@@ -1,0 +1,88 @@
+"""Sampling policies: deterministic rates and adaptive shut-off."""
+
+import pytest
+
+from repro.runtime.sampling import (AdaptiveTypeSampler, AlwaysSample,
+                                    NeverSample, RateSampler)
+
+
+class TestBasicPolicies:
+    def test_always(self):
+        policy = AlwaysSample()
+        assert all(policy.should_sample("HashMap") for _ in range(10))
+
+    def test_never(self):
+        policy = NeverSample()
+        assert not any(policy.should_sample("HashMap") for _ in range(10))
+
+    def test_observe_potential_is_a_noop_by_default(self):
+        AlwaysSample().observe_potential("HashMap", 100)  # must not raise
+
+
+class TestRateSampler:
+    def test_warmup_always_sampled(self):
+        policy = RateSampler(rate=10, warmup=3)
+        assert [policy.should_sample("T") for _ in range(3)] == [True] * 3
+
+    def test_one_in_n_after_warmup(self):
+        policy = RateSampler(rate=4, warmup=0)
+        decisions = [policy.should_sample("T") for _ in range(8)]
+        assert decisions == [True, False, False, False] * 2
+
+    def test_rates_are_per_type(self):
+        policy = RateSampler(rate=2, warmup=0)
+        assert policy.should_sample("A") is True
+        assert policy.should_sample("B") is True   # B's own counter
+        assert policy.should_sample("A") is False
+
+    def test_deterministic_across_instances(self):
+        a = RateSampler(rate=3, warmup=1)
+        b = RateSampler(rate=3, warmup=1)
+        seq_a = [a.should_sample("T") for _ in range(20)]
+        seq_b = [b.should_sample("T") for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RateSampler(rate=0)
+        with pytest.raises(ValueError):
+            RateSampler(rate=1, warmup=-1)
+
+
+class TestAdaptiveTypeSampler:
+    def test_shuts_off_low_potential_types(self):
+        policy = AdaptiveTypeSampler(potential_threshold=1000,
+                                     min_observations=5)
+        for _ in range(5):
+            policy.observe_potential("Boring", 10)
+        assert policy.is_disabled("Boring")
+        assert not policy.should_sample("Boring")
+
+    def test_keeps_high_potential_types(self):
+        policy = AdaptiveTypeSampler(potential_threshold=100,
+                                     min_observations=3)
+        for _ in range(10):
+            policy.observe_potential("Juicy", 500)
+        assert not policy.is_disabled("Juicy")
+        assert policy.should_sample("Juicy")
+
+    def test_needs_min_observations_before_disabling(self):
+        policy = AdaptiveTypeSampler(potential_threshold=1000,
+                                     min_observations=10)
+        for _ in range(9):
+            policy.observe_potential("T", 0)
+        assert not policy.is_disabled("T")
+
+    def test_disabling_is_permanent(self):
+        policy = AdaptiveTypeSampler(potential_threshold=100,
+                                     min_observations=1)
+        policy.observe_potential("T", 0)
+        assert policy.is_disabled("T")
+        # Later high-potential feedback is ignored once shut off.
+        policy.observe_potential("T", 10**6)
+        assert policy.is_disabled("T")
+
+    def test_respects_base_rate(self):
+        policy = AdaptiveTypeSampler(rate=2, warmup=0)
+        decisions = [policy.should_sample("T") for _ in range(4)]
+        assert decisions == [True, False, True, False]

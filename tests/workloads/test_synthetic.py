@@ -1,0 +1,70 @@
+"""The declarative synthetic-workload generator."""
+
+import pytest
+
+from repro.core.chameleon import Chameleon
+from repro.workloads.synthetic import ContextSpec, SyntheticWorkload
+
+
+class TestSpecValidation:
+    def test_needs_specs(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload([])
+
+    def test_duplicate_names_rejected(self):
+        spec = ContextSpec(name="same")
+        with pytest.raises(ValueError):
+            SyntheticWorkload([spec, spec])
+
+    def test_sizes_cycle(self):
+        spec = ContextSpec(name="x", sizes=(1, 5))
+        assert [spec.size_for(i) for i in range(4)] == [1, 5, 1, 5]
+
+
+class TestExecution:
+    def test_observed_contents(self):
+        workload = SyntheticWorkload([
+            ContextSpec(name="maps", src_type="HashMap", instances=2,
+                        sizes=(3,)),
+            ContextSpec(name="lists", src_type="ArrayList", instances=1,
+                        sizes=(2,), removals=1),
+        ])
+        Chameleon().plain_run(workload)
+        assert workload.observed["maps"] == [
+            [(0, 0), (1, 10), (2, 20)]] * 2
+        assert workload.observed["lists"] == [[1]]  # element 0 removed
+
+    def test_contexts_are_separated(self):
+        workload = SyntheticWorkload([
+            ContextSpec(name="a", src_type="HashMap", instances=4,
+                        sizes=(4,)),
+            ContextSpec(name="b", src_type="HashMap", instances=4,
+                        sizes=(0,), reads_per_element=0, iterations=1),
+        ])
+        tool = Chameleon()
+        session = tool.profile(workload)
+        by_site = {profile.key.site.location: profile
+                   for profile in session.report.profiles}
+        assert by_site["a"].info.avg_max_size == 4.0
+        assert by_site["b"].info.avg_max_size == 0.0
+
+    def test_short_lived_contexts_die(self):
+        workload = SyntheticWorkload([
+            ContextSpec(name="temp", src_type="HashMap", instances=6,
+                        sizes=(2,), long_lived=False)])
+        tool = Chameleon()
+        session = tool.profile(workload)
+        profile = session.report.profiles[0]
+        assert profile.info.instances_dead == 6
+
+    def test_expected_rules_fire_on_crafted_specs(self):
+        workload = SyntheticWorkload([
+            ContextSpec(name="small_maps", src_type="HashMap",
+                        instances=16, sizes=(5,)),
+            ContextSpec(name="indexed_linked", src_type="LinkedList",
+                        instances=4, sizes=(30,), indexed_reads=True),
+        ])
+        session = Chameleon().profile(workload)
+        impls = {s.action.impl_name for s in session.suggestions}
+        assert "ArrayMap" in impls
+        assert "ArrayList" in impls

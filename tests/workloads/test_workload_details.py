@@ -1,0 +1,107 @@
+"""Finer-grained checks of the benchmark workloads' §5.3 signatures."""
+
+import pytest
+
+from repro.core.chameleon import Chameleon
+from repro.profiler.counters import Op
+from repro.workloads import (BloatWorkload, PmdWorkload, SootWorkload,
+                             TvlaWorkload)
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return Chameleon()
+
+
+class TestSootUseBoxesIdiom:
+    """'many ArrayLists that are being rolled into other ArrayLists using
+    addAll' -- both sides of the interaction must be visible."""
+
+    @pytest.fixture(scope="class")
+    def session(self, tool):
+        return tool.profile(SootWorkload(scale=SCALE))
+
+    def test_singleton_context_is_copied_from(self, session):
+        singleton = next(p for p in session.report.profiles
+                         if "_leaf_use_boxes" in p.render_context())
+        assert singleton.info.op_mean(Op.COPIED) >= 1.0
+        assert singleton.info.avg_max_size == 1.0
+
+    def test_aggregation_contexts_add_all(self, session):
+        block = next(p for p in session.report.profiles
+                     if "_block_use_boxes" in p.render_context())
+        assert block.info.op_mean(Op.ADD_ALL) > 0
+        method = next(p for p in session.report.profiles
+                      if "_method_use_boxes" in p.render_context())
+        assert method.info.op_mean(Op.ADD_ALL) > 0
+        # Blocks are themselves copied into the method aggregate.
+        assert block.info.op_mean(Op.COPIED) >= 1.0
+
+    def test_block_temporaries_die(self, session):
+        block = next(p for p in session.report.profiles
+                     if "_block_use_boxes" in p.render_context())
+        assert block.info.instances_dead == block.info.instances_allocated
+
+    def test_stable_aggregate_sizes(self, session):
+        """The fixed-arity tree keeps aggregation sizes stable, which is
+        what lets the capacity rule fire for SOOT."""
+        method = next(p for p in session.report.profiles
+                      if "_method_use_boxes" in p.render_context())
+        assert method.info.max_size_stddev == 0.0
+
+
+class TestBloatPhases:
+    def test_spike_context_never_operated(self, tool):
+        session = tool.profile(BloatWorkload(scale=SCALE))
+        handlers = next(p for p in session.report.profiles
+                        if "_alloc_handler_lists" in p.render_context())
+        assert handlers.info.all_ops_mean == 0.0
+        assert handlers.src_type == "LinkedList"
+
+    def test_manual_fix_only_touches_the_spike(self, tool):
+        """The lazy-allocation source fix removes the handler lists but
+        leaves the instruction lists alone."""
+        session = tool.profile(BloatWorkload(scale=SCALE,
+                                             manual_fixes=True))
+        contexts = [p.render_context() for p in session.report.profiles]
+        assert not any("_alloc_handler_lists" in c for c in contexts)
+        assert any("_alloc_instruction_list" in c for c in contexts)
+
+
+class TestPmdChurn:
+    def test_transient_lists_dominate_allocation(self, tool):
+        session = tool.profile(PmdWorkload(scale=SCALE))
+        children = next(p for p in session.report.profiles
+                        if "_make_children_list" in p.render_context())
+        # Massive rapid allocation of short-lived collections.
+        assert children.info.instances_allocated >= 2000
+        assert children.info.instances_dead == children.info.instances_allocated
+        assert children.info.avg_initial_capacity == 50.0
+
+    def test_long_lived_registry_not_flagged(self, tool):
+        session = tool.profile(PmdWorkload(scale=SCALE))
+        flagged = {s.profile.render_context()
+                   for s in session.suggestions}
+        assert not any("_make_rule_name_set" in c for c in flagged)
+        assert not any("_make_violation_list" in c for c in flagged)
+
+
+class TestTvlaContexts:
+    def test_seven_factories_have_distinct_contexts(self, tool):
+        session = tool.profile(TvlaWorkload(scale=SCALE))
+        factories = {p.key.site.location
+                     for p in session.report.profiles
+                     if p.src_type == "HashMap"
+                     and "_make_" in p.render_context()}
+        assert len(factories) == 7
+
+    def test_factory_contexts_include_the_caller_frame(self, tool):
+        """The paper's factory argument: the context's second frame names
+        the factory's caller (make_state), which a site-only profile
+        could not distinguish across factories' users."""
+        session = tool.profile(TvlaWorkload(scale=SCALE))
+        profile = next(p for p in session.report.profiles
+                       if "_make_unary_map" in p.render_context())
+        assert "make_state" in profile.key.frames[1].location
