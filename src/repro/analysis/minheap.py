@@ -45,11 +45,18 @@ def find_min_heap(attempt: Callable[[int], bool], low: int, high: int,
     """Binary-search the smallest ``limit`` for which ``attempt(limit)``
     succeeds.
 
+    Both brackets are *verified*, not assumed: ``high`` is doubled until
+    it succeeds, and ``low`` is probed and halved downward while it
+    succeeds.  An assumed-failing ``low`` that actually completes would
+    otherwise inflate the reported minimum to ``low + resolution`` -- a
+    seed of ``peak // 2`` then understates every Fig. 6 improvement whose
+    true minimum sits at or below the seed.
+
     Args:
         attempt: Runs the program under a byte limit; True on completion,
             False on OOM.  Must be deterministic.
-        low: A limit known (or assumed) to fail; the search never probes
-            below ``low``.
+        low: Initial lower bracket (verified; the search probes below it
+            when it unexpectedly succeeds).
         high: Upper bracket; doubled until it succeeds.
         resolution: Terminate when the bracket is this tight.
 
@@ -59,13 +66,23 @@ def find_min_heap(attempt: Callable[[int], bool], low: int, high: int,
     if low < 0 or high <= low:
         raise ValueError("need 0 <= low < high")
     probes = 0
+    low_known_failing = False
     while not attempt(high):
         probes += 1
         low = high
+        low_known_failing = True
         high *= 2
         if high > 1 << 40:
             raise RuntimeError("workload does not complete in any heap")
     probes += 1
+    if not low_known_failing:
+        # Verify the lower bracket: halve downward while it succeeds.
+        while low > 0:
+            probes += 1
+            if not attempt(low):
+                break
+            high = low
+            low //= 2
     while high - low > resolution:
         middle = (low + high) // 2
         probes += 1

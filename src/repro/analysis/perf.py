@@ -1,0 +1,313 @@
+"""Wall-clock perf-regression harness (``benchmarks/perf/``).
+
+The virtual clock makes the *simulated* running-time results exact, but
+the simulator itself must also run "as fast as the hardware allows" --
+and nothing so far measured that.  This module is the repo's perf
+trajectory: a small suite of wall-clock micro-benchmarks over the two
+workloads the paper's overhead analysis singles out (TVLA: op-dense;
+PMD: allocation-dense), each run with allocation-context capture on and
+off, plus a GC-heavy configuration that stresses mark/account/sweep.
+
+Results are emitted as ``BENCH_chameleon.json`` with a stable,
+CI-comparable schema (:data:`SCHEMA`, :data:`SCHEMA_VERSION`); CI runs a
+smoke pass and fails on a schema-invalid document, and successive PRs can
+diff their documents with :func:`compare` to track the trajectory.
+
+Wall-clock numbers are machine-dependent; the schema therefore records
+the interpreter and the per-phase split (setup / run / finish / report)
+so a regression can be localised, and comparisons should always be
+between documents produced on the same machine.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.chameleon import Chameleon
+from repro.core.config import ToolConfig
+from repro.profiler.report import build_report
+from repro.runtime.context import clear_capture_caches
+from repro.runtime.vm import RuntimeEnvironment
+from repro.workloads import default_workload_registry
+
+__all__ = ["SCHEMA", "SCHEMA_VERSION", "BenchRecord", "run_suite",
+           "validate_document", "compare", "render_summary"]
+
+SCHEMA = "chameleon-perf"
+SCHEMA_VERSION = 1
+
+#: The default workload pair: the section 5.4 extremes.
+DEFAULT_WORKLOADS = ("tvla", "pmd")
+
+#: Phase names every benchmark record reports (missing phases are 0.0).
+PHASES = ("setup", "run", "finish", "report")
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's measurements (best-of-``repeats`` wall clock)."""
+
+    name: str
+    workload: str
+    capture: bool
+    repeats: int
+    wall_seconds: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    ticks: int = 0
+    gc_cycles: int = 0
+    allocated_objects: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "capture": self.capture,
+            "repeats": self.repeats,
+            "wall_seconds": self.wall_seconds,
+            "phases": dict(self.phases),
+            "ticks": self.ticks,
+            "gc_cycles": self.gc_cycles,
+            "allocated_objects": self.allocated_objects,
+        }
+
+
+def _phase_timed(fn: Callable[[], None], phases: Dict[str, float],
+                 name: str) -> None:
+    start = time.perf_counter()
+    fn()
+    phases[name] = phases.get(name, 0.0) + time.perf_counter() - start
+
+
+def _run_once(tool: Chameleon, workload_name: str, scale: float, seed: int,
+              capture: bool,
+              gc_threshold_bytes: Optional[int] = None,
+              ) -> Tuple[Dict[str, float], RuntimeEnvironment]:
+    """One measured run; returns per-phase wall times and the VM."""
+    registry = default_workload_registry()
+    phases: Dict[str, float] = {name: 0.0 for name in PHASES}
+    holder: dict = {}
+
+    def setup() -> None:
+        workload = registry.create(workload_name, seed=seed, scale=scale)
+        profiler = tool._make_profiler() if capture else None
+        vm = tool.make_vm(profiler=profiler)
+        if gc_threshold_bytes is not None:
+            vm.gc_threshold_bytes = gc_threshold_bytes
+        holder["vm"] = vm
+        holder["workload"] = workload
+
+    _phase_timed(setup, phases, "setup")
+    vm = holder["vm"]
+    workload = holder["workload"]
+    _phase_timed(lambda: workload.run(vm), phases, "run")
+    _phase_timed(vm.finish, phases, "finish")
+    if capture:
+        def report() -> None:
+            profile_report = build_report(vm.profiler, vm.timeline,
+                                          vm.contexts)
+            tool.engine.evaluate(profile_report)
+
+        _phase_timed(report, phases, "report")
+    return phases, vm
+
+
+def _bench(name: str, tool: Chameleon, workload_name: str, scale: float,
+           seed: int, repeats: int, capture: bool,
+           gc_threshold_bytes: Optional[int] = None) -> BenchRecord:
+    best_total = None
+    best_phases: Dict[str, float] = {}
+    vm = None
+    for _ in range(max(repeats, 1)):
+        phases, vm = _run_once(tool, workload_name, scale, seed, capture,
+                               gc_threshold_bytes=gc_threshold_bytes)
+        total = sum(phases.values())
+        if best_total is None or total < best_total:
+            best_total = total
+            best_phases = phases
+    return BenchRecord(
+        name=name,
+        workload=workload_name,
+        capture=capture,
+        repeats=max(repeats, 1),
+        wall_seconds=best_total or 0.0,
+        phases=best_phases,
+        ticks=vm.now,
+        gc_cycles=vm.timeline.cycle_count,
+        allocated_objects=vm.heap.total_allocated_objects,
+    )
+
+
+def run_suite(scale: float = 0.2, repeats: int = 3, seed: int = 2009,
+              workloads: Tuple[str, ...] = DEFAULT_WORKLOADS,
+              include_gc_heavy: bool = True,
+              cold_caches: bool = False) -> dict:
+    """Run the full suite; returns the ``BENCH_chameleon.json`` document.
+
+    Args:
+        scale: Workload scale factor for every benchmark.
+        repeats: Runs per benchmark; the best (minimum) total is reported.
+        seed: Workload RNG seed.
+        workloads: Registry names to measure capture-on/off.
+        include_gc_heavy: Also run a small-GC-threshold configuration
+            that multiplies collection cycles (stressing mark/account/
+            sweep rather than the allocation path).
+        cold_caches: Clear the allocation-context capture memo first, so
+            the run measures cold-start rather than steady-state capture.
+    """
+    if cold_caches:
+        clear_capture_caches()
+    tool = Chameleon(ToolConfig())
+    records: List[BenchRecord] = []
+    for workload_name in workloads:
+        for capture in (True, False):
+            suffix = "capture_on" if capture else "capture_off"
+            records.append(_bench(f"{workload_name}_{suffix}", tool,
+                                  workload_name, scale, seed, repeats,
+                                  capture))
+    if include_gc_heavy:
+        records.append(_bench("gc_heavy", tool, workloads[0], scale, seed,
+                              repeats, capture=False,
+                              gc_threshold_bytes=16 * 1024))
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "python": sys.version.split()[0],
+        "generated_at": time.time(),
+        "scale": scale,
+        "seed": seed,
+        "repeats": max(repeats, 1),
+        "benchmarks": [record.to_dict() for record in records],
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation (what CI smoke-checks)
+# ----------------------------------------------------------------------
+_TOP_LEVEL_FIELDS = {
+    "schema": str,
+    "schema_version": int,
+    "python": str,
+    "generated_at": (int, float),
+    "scale": (int, float),
+    "seed": int,
+    "repeats": int,
+    "benchmarks": list,
+}
+
+_RECORD_FIELDS = {
+    "name": str,
+    "workload": str,
+    "capture": bool,
+    "repeats": int,
+    "wall_seconds": (int, float),
+    "phases": dict,
+    "ticks": int,
+    "gc_cycles": int,
+    "allocated_objects": int,
+}
+
+
+def validate_document(doc: object) -> None:
+    """Raise ``ValueError`` describing every way ``doc`` violates the
+    ``BENCH_chameleon.json`` schema; return silently when valid."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        raise ValueError("BENCH document must be a JSON object")
+    for key, expected in _TOP_LEVEL_FIELDS.items():
+        if key not in doc:
+            problems.append(f"missing top-level field {key!r}")
+        elif not isinstance(doc[key], expected):
+            problems.append(f"field {key!r} has type "
+                            f"{type(doc[key]).__name__}")
+    if doc.get("schema") not in (None, SCHEMA):
+        problems.append(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if isinstance(doc.get("schema_version"), int) \
+            and doc["schema_version"] > SCHEMA_VERSION:
+        problems.append(f"schema_version {doc['schema_version']} is newer "
+                        f"than supported {SCHEMA_VERSION}")
+    seen = set()
+    for position, record in enumerate(doc.get("benchmarks") or []):
+        if not isinstance(record, dict):
+            problems.append(f"benchmarks[{position}] is not an object")
+            continue
+        label = record.get("name", f"#{position}")
+        for key, expected in _RECORD_FIELDS.items():
+            if key not in record:
+                problems.append(f"benchmark {label}: missing field {key!r}")
+            elif not isinstance(record[key], expected) \
+                    or (expected is int and isinstance(record[key], bool)):
+                problems.append(f"benchmark {label}: field {key!r} has "
+                                f"type {type(record[key]).__name__}")
+        if isinstance(record.get("wall_seconds"), (int, float)) \
+                and record["wall_seconds"] < 0:
+            problems.append(f"benchmark {label}: negative wall_seconds")
+        if isinstance(record.get("phases"), dict):
+            for phase, seconds in record["phases"].items():
+                if not isinstance(seconds, (int, float)) or seconds < 0:
+                    problems.append(f"benchmark {label}: phase {phase!r} "
+                                    f"is not a non-negative number")
+        name = record.get("name")
+        if name in seen:
+            problems.append(f"duplicate benchmark name {name!r}")
+        seen.add(name)
+    if not doc.get("benchmarks"):
+        problems.append("benchmarks list is empty")
+    if problems:
+        raise ValueError("invalid BENCH document: " + "; ".join(problems))
+
+
+def compare(old_doc: dict, new_doc: dict) -> Dict[str, float]:
+    """Per-benchmark new/old wall-clock ratios (<1 means faster).
+
+    Benchmarks present in only one document are skipped; ticks are also
+    checked -- a tick mismatch on the same benchmark name means the two
+    documents measured different simulated work and the wall ratio is
+    meaningless, so it is reported as ``float('nan')``.
+    """
+    old_by_name = {r["name"]: r for r in old_doc.get("benchmarks", [])}
+    ratios: Dict[str, float] = {}
+    for record in new_doc.get("benchmarks", []):
+        old = old_by_name.get(record["name"])
+        if old is None or not old.get("wall_seconds"):
+            continue
+        if old.get("ticks") != record.get("ticks"):
+            ratios[record["name"]] = float("nan")
+        else:
+            ratios[record["name"]] = (record["wall_seconds"]
+                                      / old["wall_seconds"])
+    return ratios
+
+
+def render_summary(doc: dict) -> str:
+    """Human-readable table of a BENCH document."""
+    lines = [f"perf suite (scale={doc['scale']}, repeats={doc['repeats']}, "
+             f"python {doc['python']})",
+             f"{'benchmark':<20} {'wall s':>9} {'run s':>9} {'ticks':>12} "
+             f"{'GCs':>5} {'allocs':>9}"]
+    for record in doc["benchmarks"]:
+        lines.append(
+            f"{record['name']:<20} {record['wall_seconds']:>9.4f} "
+            f"{record['phases'].get('run', 0.0):>9.4f} "
+            f"{record['ticks']:>12} {record['gc_cycles']:>5} "
+            f"{record['allocated_objects']:>9}")
+    return "\n".join(lines)
+
+
+def write_document(doc: dict, path: str) -> None:
+    """Validate and write ``doc`` to ``path`` as pretty-printed JSON."""
+    validate_document(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_document(path: str) -> dict:
+    """Load and validate a BENCH document from ``path``."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_document(doc)
+    return doc

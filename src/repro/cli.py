@@ -12,6 +12,7 @@ Examples::
     chameleon-repro online pmd --scale 0.3
     chameleon-repro experiment fig6 --scale 0.4
     chameleon-repro experiment all
+    chameleon-repro perf --scale 0.2 --repeats 3
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -100,6 +101,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.4)
     experiment.add_argument("--resolution", type=int, default=8192,
                             help="min-heap search resolution in bytes")
+
+    perf = sub.add_parser(
+        "perf", help="wall-clock perf harness; emits BENCH_chameleon.json")
+    perf.add_argument("--scale", type=float, default=0.2,
+                      help="workload scale for every benchmark")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="runs per benchmark (best is reported)")
+    perf.add_argument("--seed", type=int, default=2009)
+    perf.add_argument("--output", default=None, metavar="PATH",
+                      help="write the JSON document here "
+                           "(default benchmarks/perf/BENCH_chameleon.json)")
+    perf.add_argument("--no-gc-heavy", action="store_true",
+                      help="skip the GC-stress configuration")
+    perf.add_argument("--check", metavar="PATH", default=None,
+                      help="validate an existing BENCH json and exit")
+    perf.add_argument("--baseline", metavar="PATH", default=None,
+                      help="compare against a previous BENCH json")
     return parser
 
 
@@ -172,6 +190,40 @@ def _cmd_experiment(args) -> str:
     return _EXPERIMENTS[args.name](args)
 
 
+def _cmd_perf(args) -> str:
+    import math
+    import pathlib
+
+    from repro.analysis import perf
+
+    if args.check is not None:
+        try:
+            perf.load_document(args.check)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"{args.check}: {exc}")
+        return f"{args.check}: valid {perf.SCHEMA} v{perf.SCHEMA_VERSION}"
+
+    doc = perf.run_suite(scale=args.scale, repeats=args.repeats,
+                         seed=args.seed,
+                         include_gc_heavy=not args.no_gc_heavy)
+    output = args.output
+    if output is None:
+        output = pathlib.Path(__file__).resolve().parents[2] \
+            / "benchmarks" / "perf" / "BENCH_chameleon.json"
+    pathlib.Path(output).parent.mkdir(parents=True, exist_ok=True)
+    perf.write_document(doc, str(output))
+    parts = [perf.render_summary(doc), "", f"wrote {output}"]
+    if args.baseline is not None:
+        ratios = perf.compare(perf.load_document(args.baseline), doc)
+        parts.append("")
+        parts.append(f"vs baseline {args.baseline}:")
+        for name, ratio in sorted(ratios.items()):
+            note = ("ticks diverged -- not comparable"
+                    if math.isnan(ratio) else f"{ratio:.2f}x wall clock")
+            parts.append(f"  {name:<20} {note}")
+    return "\n".join(parts)
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "profile": _cmd_profile,
@@ -179,6 +231,7 @@ _COMMANDS = {
     "online": _cmd_online,
     "histogram": _cmd_histogram,
     "experiment": _cmd_experiment,
+    "perf": _cmd_perf,
 }
 
 

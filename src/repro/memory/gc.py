@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.memory.heap import HeapObject, SimHeap
-from repro.memory.semantic_maps import SemanticMapRegistry
+from repro.memory.semantic_maps import SemanticMap, SemanticMapRegistry
 from repro.memory.stats import GcCycleStats, HeapTimeline
 
 __all__ = ["GcCostParameters", "MarkSweepGC"]
@@ -58,6 +58,17 @@ class MarkSweepGC:
         self.costs = costs or GcCostParameters()
         self._charge = charge or (lambda ticks: None)
         self.cycle_count = 0
+        self._collecting = False
+
+    @property
+    def collecting(self) -> bool:
+        """Whether a cycle is in progress (a death hook is on the stack).
+
+        The runtime consults this before triggering a collection from an
+        allocation, so a death hook that allocates cannot start a nested
+        cycle mid-sweep.
+        """
+        return self._collecting
 
     # ------------------------------------------------------------------
     # The collection cycle
@@ -81,7 +92,11 @@ class MarkSweepGC:
 
         marked = self._mark()
         self._account(marked, stats)
-        self._sweep(marked, stats)
+        self._collecting = True
+        try:
+            self._sweep(marked, stats)
+        finally:
+            self._collecting = False
 
         self._charge(self.costs.base_ticks
                      + self.costs.mark_ticks_per_object * len(marked)
@@ -96,18 +111,21 @@ class MarkSweepGC:
     # ------------------------------------------------------------------
     def _mark(self) -> Set[int]:
         """Transitive closure from the heap's root set."""
+        live = self.heap.ids()
+        heap_get = self.heap.get
         marked: Set[int] = set()
         worklist = deque(
-            root_id for root_id in self.heap.root_ids()
-            if self.heap.contains(root_id)
+            root_id for root_id in self.heap.root_ids() if root_id in live
         )
         marked.update(worklist)
+        popleft = worklist.popleft
+        append = worklist.append
         while worklist:
-            obj = self.heap.get(worklist.popleft())
+            obj = heap_get(popleft())
             for ref_id in obj.refs.keys():
-                if ref_id not in marked and self.heap.contains(ref_id):
+                if ref_id not in marked and ref_id in live:
                     marked.add(ref_id)
-                    worklist.append(ref_id)
+                    append(ref_id)
         return marked
 
     def _account(self, marked: Set[int], stats: GcCycleStats) -> None:
@@ -119,25 +137,24 @@ class MarkSweepGC:
         anchor (e.g. a backing implementation owned by a wrapper) is folded
         into its owner rather than reported separately.
         """
-        anchors: List[HeapObject] = []
+        anchors: List[Tuple[HeapObject, SemanticMap]] = []
         claimed: Set[int] = set()
+        heap_get = self.heap.get
+        lookup = self.semantic_maps.lookup
         for obj_id in marked:
-            obj = self.heap.get(obj_id)
+            obj = heap_get(obj_id)
             stats.live_data += obj.size
-            semantic_map = self.semantic_maps.lookup(obj)
+            semantic_map = lookup(obj)
             if semantic_map is not None:
-                anchors.append(obj)
+                anchors.append((obj, semantic_map))
 
-        for anchor in anchors:
-            semantic_map = self.semantic_maps.lookup(anchor)
-            for internal_id in semantic_map.internal_ids(anchor):
-                claimed.add(internal_id)
+        for anchor, semantic_map in anchors:
+            claimed.update(semantic_map.internal_ids(anchor))
 
-        anchor_ids = {a.obj_id for a in anchors}
-        for anchor in anchors:
+        anchor_ids = {a.obj_id for a, _ in anchors}
+        for anchor, semantic_map in anchors:
             if anchor.obj_id in claimed:
                 continue  # owned by an enclosing ADT (wrapper)
-            semantic_map = self.semantic_maps.lookup(anchor)
             triple = semantic_map.footprint(anchor)
             stats.collection_live += triple.live
             stats.collection_used += triple.used
@@ -152,16 +169,19 @@ class MarkSweepGC:
         for obj_id in marked:
             if obj_id in claimed or obj_id in anchor_ids:
                 continue
-            obj = self.heap.get(obj_id)
+            obj = heap_get(obj_id)
             stats.add_type_bytes(obj.type_name, obj.size)
 
     def _sweep(self, marked: Set[int], stats: GcCycleStats) -> None:
-        """Free unmarked objects, invoking death hooks first."""
-        dead = [obj for obj in self.heap.objects() if obj.obj_id not in marked]
-        for obj in dead:
+        """Free unmarked objects, invoking death hooks as they die.
+
+        The heap partitions itself into live set and free list
+        (:meth:`SimHeap.sweep_dead`); this phase only runs hooks and
+        accounts the cycle statistics over the yielded dead objects.
+        """
+        for obj in self.heap.sweep_dead(marked):
             if obj.on_death is not None:
                 obj.on_death(obj)
-            self.heap.free(obj)
             stats.freed_bytes += obj.size
             stats.freed_objects += 1
 

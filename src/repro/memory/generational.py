@@ -116,16 +116,16 @@ class GenerationalGC(MarkSweepGC):
         self._account(marked, stats)
 
         # Sweep the nursery only; unreachable tenured objects float.
-        nursery_dead = [obj for obj in self.heap.objects()
-                        if obj.obj_id not in marked
-                        and obj.obj_id not in self._tenured]
-        for obj in nursery_dead:
-            if obj.on_death is not None:
-                obj.on_death(obj)
-            self.heap.free(obj)
-            self._ages.pop(obj.obj_id, None)
-            stats.freed_bytes += obj.size
-            stats.freed_objects += 1
+        self._collecting = True
+        try:
+            for obj in self.heap.sweep_dead(marked, keep=self._tenured):
+                if obj.on_death is not None:
+                    obj.on_death(obj)
+                self._ages.pop(obj.obj_id, None)
+                stats.freed_bytes += obj.size
+                stats.freed_objects += 1
+        finally:
+            self._collecting = False
 
         # Age and promote the nursery survivors.
         promoted = 0

@@ -70,6 +70,11 @@ class HeapObject:
     context_id: Optional[int] = None
     on_death: Optional[Callable[["HeapObject"], None]] = None
 
+    # Anchor-classification cache maintained by SemanticMapRegistry.lookup:
+    # the verdict for this object under registry state `sm_version`.
+    sm_version: int = field(default=0, repr=False)
+    sm_map: Any = field(default=None, repr=False)
+
     def add_ref(self, target_id: int) -> None:
         """Add one reference edge to ``target_id``."""
         self.refs[target_id] += 1
@@ -168,6 +173,42 @@ class SimHeap:
     def objects(self) -> Iterator[HeapObject]:
         """Iterate over every object currently in the store."""
         return iter(self._objects.values())
+
+    def ids(self):
+        """A live view of every object id currently in the store."""
+        return self._objects.keys()
+
+    def sweep_dead(self, marked: "set[int]",
+                   keep: Optional["set[int]"] = None,
+                   ) -> Iterator[HeapObject]:
+        """Partition the store into the live set and the free list.
+
+        ``marked`` (plus the optional ``keep`` set, e.g. a tenured
+        generation) names the survivors; everything else is popped from
+        the store, accounted as freed, and yielded to the caller -- the
+        sweeper runs death hooks and per-cycle statistics over the yielded
+        free list.  The dead ids are computed with one C-level set
+        difference instead of a Python-level scan over every object, so
+        sweep cost tracks the garbage, not the heap.
+
+        Reentrancy: the partition is a snapshot.  A death hook that
+        *allocates* adds to the live store and is never swept this cycle;
+        a hook that *frees* a not-yet-yielded dead object simply causes
+        that object to be skipped here (it was already accounted by
+        :meth:`free`), so ``total_freed_*`` counts every object exactly
+        once.
+        """
+        dead_ids = self._objects.keys() - marked
+        if keep:
+            dead_ids -= keep
+        pop = self._objects.pop
+        for obj_id in dead_ids:
+            obj = pop(obj_id, None)
+            if obj is None:
+                continue  # freed by a reentrant death hook
+            self.total_freed_bytes += obj.size
+            self.total_freed_objects += 1
+            yield obj
 
     def __len__(self) -> int:
         return len(self._objects)

@@ -28,6 +28,7 @@ parametric in the set of ADTs it understands.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Protocol, runtime_checkable
 
@@ -126,10 +127,26 @@ class ProtocolSemanticMap(SemanticMap):
     offsets into a J9 object, we dispatch to the payload's accessors, which
     are equally "precomputed" -- no name lookup or graph search happens at
     collection time.
+
+    ``isinstance`` against a ``runtime_checkable`` Protocol inspects every
+    protocol member on every call, which made this the dominant cost of a
+    GC cycle; the verdict only depends on the payload's *class*, so it is
+    cached per class.
     """
 
+    def __init__(self) -> None:
+        self._class_matches: Dict[type, bool] = {}
+
     def matches(self, obj: HeapObject) -> bool:
-        return isinstance(obj.payload, AdtFootprint)
+        payload = obj.payload
+        if payload is None:
+            return False
+        cls = payload.__class__
+        verdict = self._class_matches.get(cls)
+        if verdict is None:
+            verdict = isinstance(payload, AdtFootprint)
+            self._class_matches[cls] = verdict
+        return verdict
 
     def footprint(self, obj: HeapObject) -> FootprintTriple:
         return obj.payload.adt_footprint()
@@ -141,27 +158,45 @@ class ProtocolSemanticMap(SemanticMap):
         return obj.payload.adt_element_count()
 
 
+#: Globally unique registry-state versions.  Each registry draws a fresh
+#: version on every mutation, so a :class:`HeapObject`'s cached
+#: classification can never be mistaken for another registry's (or an
+#: older) state.
+_registry_versions = itertools.count(1)
+
+
 class SemanticMapRegistry:
     """Type-name -> :class:`SemanticMap` lookup used by the collector.
 
     The registry is consulted once per visited object during marking; a
     ``None`` result means the object is not a collection anchor and is
-    accounted as plain application data.
+    accounted as plain application data.  The verdict for an object is
+    immutable while the registry is unchanged (payloads are assigned at
+    allocation), so :meth:`lookup` caches its anchor classification on the
+    :class:`HeapObject` itself, stamped with the registry version; any
+    ``register``/``unregister``/dispatch change invalidates every cached
+    verdict at once by bumping the version.
     """
 
     def __init__(self) -> None:
         self._by_type: Dict[str, SemanticMap] = {}
         self._protocol_map = ProtocolSemanticMap()
         self._protocol_enabled = True
+        self._version = next(_registry_versions)
+
+    def _invalidate(self) -> None:
+        self._version = next(_registry_versions)
 
     def register(self, type_name: str, semantic_map: SemanticMap) -> None:
         """Register a custom map for ``type_name`` (overrides protocol
         dispatch for that type)."""
         self._by_type[type_name] = semantic_map
+        self._invalidate()
 
     def unregister(self, type_name: str) -> None:
         """Remove a previously registered custom map."""
         del self._by_type[type_name]
+        self._invalidate()
 
     def set_protocol_dispatch(self, enabled: bool) -> None:
         """Enable/disable the default payload-protocol dispatch.
@@ -170,15 +205,22 @@ class SemanticMapRegistry:
         explicitly described custom collections are profiled.
         """
         self._protocol_enabled = enabled
+        self._invalidate()
 
     def lookup(self, obj: HeapObject) -> Optional[SemanticMap]:
         """Find the semantic map for ``obj``, or ``None`` for plain data."""
+        if obj.sm_version == self._version:
+            return obj.sm_map
         custom = self._by_type.get(obj.type_name)
         if custom is not None and custom.matches(obj):
-            return custom
-        if self._protocol_enabled and self._protocol_map.matches(obj):
-            return self._protocol_map
-        return None
+            result: Optional[SemanticMap] = custom
+        elif self._protocol_enabled and self._protocol_map.matches(obj):
+            result = self._protocol_map
+        else:
+            result = None
+        obj.sm_version = self._version
+        obj.sm_map = result
+        return result
 
     def registered_types(self) -> Iterable[str]:
         """Names with explicitly registered maps."""

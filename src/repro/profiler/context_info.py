@@ -21,9 +21,9 @@ joins the two views through :class:`ContextProfile` in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
-from repro.profiler.counters import Op
+from repro.profiler.counters import N_OPS, OPS, Op
 from repro.profiler.object_info import ObjectContextInfo
 from repro.profiler.welford import Welford
 
@@ -31,7 +31,13 @@ __all__ = ["ContextInfo"]
 
 
 class ContextInfo:
-    """Table 1 trace statistics for one allocation context."""
+    """Table 1 trace statistics for one allocation context.
+
+    Per-operation aggregates live in a flat array parallel to the dense
+    operation vocabulary (:data:`~repro.profiler.counters.OPS`); a slot
+    stays ``None`` until its operation is first observed, so absorbing an
+    instance costs one array scan instead of two dict merges.
+    """
 
     def __init__(self, context_id: int, src_type: str) -> None:
         self.context_id = context_id
@@ -39,12 +45,18 @@ class ContextInfo:
         self.impl_names: Set[str] = set()
         self.instances_allocated = 0
         self.instances_dead = 0
-        self.op_stats: Dict[Op, Welford] = {}
+        self._op_stats: List[Optional[Welford]] = [None] * N_OPS
         self.max_size_stats = Welford()
         self.final_size_stats = Welford()
         self.initial_capacity_stats = Welford()
         self.total_ops = 0
         self.swap_count = 0
+
+    @property
+    def op_stats(self) -> Dict[Op, Welford]:
+        """Sparse ``{Op: Welford}`` view of the flat aggregate array."""
+        return {op: stat for op, stat in zip(OPS, self._op_stats)
+                if stat is not None}
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -67,46 +79,45 @@ class ContextInfo:
                 f"not {self.context_id}")
         prior_dead = self.instances_dead
         self.instances_dead += 1
-        self.total_ops += info.total_ops
+        counts = info.counts
+        self.total_ops += sum(counts)
         self.swap_count += info.swap_count
-        seen = info.op_counts
-        for op, count in seen.items():
-            self._op_stat(op, backfill=prior_dead).observe(count)
-        for op, stat in self.op_stats.items():
-            if op not in seen:
-                stat.observe(0)
+        stats = self._op_stats
+        for index in range(N_OPS):
+            count = counts[index]
+            stat = stats[index]
+            if stat is None:
+                if count == 0:
+                    continue
+                stat = Welford()
+                # Backfill zeros for instances absorbed before this op
+                # was first seen, keeping all op aggregates over the same
+                # observation count.
+                for _ in range(prior_dead):
+                    stat.observe(0)
+                stats[index] = stat
+            stat.observe(count)
         self.max_size_stats.observe(info.max_size)
         self.final_size_stats.observe(info.final_size)
         if info.initial_capacity is not None:
             self.initial_capacity_stats.observe(info.initial_capacity)
-
-    def _op_stat(self, op: Op, backfill: int = 0) -> Welford:
-        stat = self.op_stats.get(op)
-        if stat is None:
-            stat = Welford()
-            # Backfill zeros for instances absorbed before this op was
-            # first seen, keeping all op aggregates over the same count.
-            for _ in range(backfill):
-                stat.observe(0)
-            self.op_stats[op] = stat
-        return stat
 
     # ------------------------------------------------------------------
     # Rule-language accessors
     # ------------------------------------------------------------------
     def op_mean(self, op: Op) -> float:
         """``#op`` in the rule language: average count per instance."""
-        stat = self.op_stats.get(op)
+        stat = self._op_stats[op.index]
         return stat.mean if stat is not None else 0.0
 
     def op_stddev(self, op: Op) -> float:
         """``@op``: standard deviation of the count across instances."""
-        stat = self.op_stats.get(op)
+        stat = self._op_stats[op.index]
         return stat.stddev if stat is not None else 0.0
 
     def op_total(self, op: Op) -> float:
         """Total count of ``op`` summed over absorbed instances."""
-        stat = self.op_stats.get(op)
+        stat = self._op_stats[op.index]
         return stat.total if stat is not None else 0.0
 
     @property
@@ -140,8 +151,8 @@ class ContextInfo:
 
     def operation_distribution(self) -> Dict[Op, float]:
         """Fraction of total operations per op kind (the Fig. 3 circles)."""
-        totals = {op: stat.total for op, stat in self.op_stats.items()
-                  if stat.total > 0}
+        totals = {op: stat.total for op, stat in zip(OPS, self._op_stats)
+                  if stat is not None and stat.total > 0}
         grand = sum(totals.values())
         if grand == 0:
             return {}

@@ -11,14 +11,21 @@ created over the collection while it was empty).
 Each operation knows its DSL spelling (``#add``, ``#get(int)``,
 ``#get(Object)``...) so the Fig. 4 rule language and the profiler agree on
 names.
+
+The vocabulary is resolved to a *dense index* exactly once, at import:
+every member carries an ``index`` attribute into the flat counter arrays
+used by :class:`~repro.profiler.object_info.ObjectContextInfo` and
+:class:`~repro.profiler.context_info.ContextInfo`, so the per-operation
+hot path is one list-index increment instead of a dict update.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import Dict, Tuple
 
-__all__ = ["Op", "OP_BY_DSL_NAME", "MUTATING_OPS", "READ_OPS"]
+__all__ = ["Op", "OPS", "N_OPS", "OP_INDEX", "OP_BY_DSL_NAME",
+           "MUTATING_OPS", "READ_OPS"]
 
 
 class Op(enum.Enum):
@@ -65,6 +72,20 @@ class Op(enum.Enum):
         """The spelling used in the Fig. 4 rule language."""
         return self.value
 
+
+OPS: Tuple[Op, ...] = tuple(Op)
+"""The operation vocabulary in dense-index order."""
+
+N_OPS: int = len(OPS)
+"""Size of the vocabulary (length of every flat counter array)."""
+
+for _index, _op in enumerate(OPS):
+    _op.index = _index  # type: ignore[attr-defined]
+del _index, _op
+
+OP_INDEX: Dict[Op, int] = {op: op.index for op in OPS}
+"""Op -> dense index (``op.index`` is the attribute form used on hot
+paths; this dict serves generic callers)."""
 
 OP_BY_DSL_NAME: Dict[str, Op] = {op.dsl_name: op for op in Op}
 """Reverse lookup used by the rule parser (``#add(int)`` -> ``ADD_INDEX``)."""

@@ -9,14 +9,16 @@ allocation context and discarded.
 
 The paper stresses that these objects are "usually very small (few words)"
 so finalization stays cheap; correspondingly this class is ``__slots__``-ed
-and holds only scalars and one sparse counter dict.
+and its operation counters are one flat integer array indexed by the dense
+operation vocabulary (:data:`~repro.profiler.counters.OPS`), so the
+per-operation hot path is a single list-index increment.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.profiler.counters import Op
+from repro.profiler.counters import N_OPS, OPS, Op
 
 __all__ = ["ObjectContextInfo"]
 
@@ -25,7 +27,7 @@ class ObjectContextInfo:
     """Usage profile of one live collection instance."""
 
     __slots__ = ("context_id", "src_type", "impl_name", "initial_capacity",
-                 "op_counts", "max_size", "final_size", "swap_count",
+                 "counts", "max_size", "final_size", "swap_count",
                  "_registry_key")
 
     def __init__(self, context_id: int, src_type: str, impl_name: str,
@@ -34,7 +36,7 @@ class ObjectContextInfo:
         self.src_type = src_type
         self.impl_name = impl_name
         self.initial_capacity = initial_capacity
-        self.op_counts: Dict[Op, int] = {}
+        self.counts: List[int] = [0] * N_OPS
         self.max_size = 0
         self.final_size = 0
         self.swap_count = 0
@@ -42,7 +44,12 @@ class ObjectContextInfo:
 
     def record_op(self, op: Op) -> None:
         """Count one operation event."""
-        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        self.counts[op.index] += 1
+
+    @property
+    def op_counts(self) -> Dict[Op, int]:
+        """Sparse ``{Op: count}`` view of the flat counter array."""
+        return {op: count for op, count in zip(OPS, self.counts) if count}
 
     def record_size(self, size: int) -> None:
         """Track the running and maximal collection size."""
@@ -66,7 +73,7 @@ class ObjectContextInfo:
 
     def count(self, op: Op) -> int:
         """The recorded count of ``op`` (0 if never seen)."""
-        return self.op_counts.get(op, 0)
+        return self.counts[op.index]
 
     @property
     def total_ops(self) -> int:
@@ -76,7 +83,7 @@ class ObjectContextInfo:
         ``#allOps == #copied`` satisfiable for a nonempty collection that
         was filled by copy-construction and then only ever copied out of.
         """
-        return sum(self.op_counts.values())
+        return sum(self.counts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ObjectContextInfo ctx={self.context_id} {self.src_type}"

@@ -14,16 +14,24 @@ frames that belong to this library itself so a context always names
 explicit :class:`ContextKey`, which models factory-provided contexts.
 
 Capture cost is charged by the caller via the cost model; this module only
-reports how many frames it walked.
+reports how many frames it walked.  The *simulator's own* wall-clock cost
+of capture is memoized: repeat allocations from the same bytecode position
+(keyed on ``(id(code object), f_lasti)`` of every walked frame) reuse the
+interned :class:`ContextKey` and the recorded walk length, so the string
+formatting and module lookups run once per distinct site.  The memo always
+returns the same ``frames_walked`` the uncached walk would have reported,
+so the virtual-clock charge -- and with it the section 5.4 overhead
+results -- is unchanged.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
-__all__ = ["ContextFrame", "ContextKey", "ContextRegistry", "DEFAULT_CONTEXT_DEPTH"]
+__all__ = ["ContextFrame", "ContextKey", "ContextRegistry",
+           "DEFAULT_CONTEXT_DEPTH", "TOPLEVEL_FRAME", "clear_capture_caches"]
 
 DEFAULT_CONTEXT_DEPTH = 2
 """The paper's default partial-context depth ("usually of depth 2 or 3")."""
@@ -83,6 +91,32 @@ def _is_internal(module_name: str) -> bool:
                for prefix in _INTERNAL_PREFIXES)
 
 
+TOPLEVEL_FRAME = ContextFrame("<toplevel>", 0)
+"""Synthetic site used when the stack holds no application frames.
+
+A capture issued from a thread entry point, a top-level script, or from
+inside the library itself still needs a *distinct, stable* context --
+interning an empty key would silently alias every such site into one
+context.
+"""
+
+# id(code) -> (code, is_internal).  Holding the code object keeps its id
+# from being recycled, so the cached internality bit can never go stale.
+_code_cache: Dict[int, Tuple[Any, bool]] = {}
+
+# (depth, code_id, f_lasti, code_id, f_lasti, ...) for every frame walked
+# -> the (ContextKey, frames_walked) that walk produced.  f_lasti pins the
+# exact bytecode position of each call, so two call sites on different
+# lines of the same function never collide.
+_site_cache: Dict[Tuple[int, ...], Tuple[ContextKey, int]] = {}
+
+
+def clear_capture_caches() -> None:
+    """Drop the capture memo (tests / benchmark hygiene)."""
+    _code_cache.clear()
+    _site_cache.clear()
+
+
 def capture_context(depth: int = DEFAULT_CONTEXT_DEPTH,
                     skip: int = 1) -> Tuple[ContextKey, int]:
     """Capture the caller's allocation context from the live Python stack.
@@ -96,19 +130,47 @@ def capture_context(depth: int = DEFAULT_CONTEXT_DEPTH,
         ``(key, frames_walked)`` where ``frames_walked`` counts every frame
         examined, so the caller can charge capture cost proportionally --
         walking past library frames is work even though they are not
-        retained, which is part of why capture is expensive.
+        retained, which is part of why capture is expensive.  A stack too
+        shallow to skip into, or one with no application frames at all,
+        yields the synthetic :data:`TOPLEVEL_FRAME` site rather than
+        raising or aliasing distinct sites into an empty key.
     """
-    frames = []
+    try:
+        frame = sys._getframe(skip + 1)
+    except ValueError:  # shallower than `skip` (thread/script entry point)
+        frame = None
+    retained = []
     walked = 0
-    frame = sys._getframe(skip + 1)
-    while frame is not None and len(frames) < depth:
+    sig = [depth]
+    code_cache = _code_cache
+    while frame is not None and len(retained) < depth:
         walked += 1
-        module = frame.f_globals.get("__name__", "?")
-        if not _is_internal(module):
-            location = f"{module}.{frame.f_code.co_name}"
-            frames.append(ContextFrame(location, frame.f_lineno))
+        code = frame.f_code
+        code_id = id(code)
+        sig.append(code_id)
+        sig.append(frame.f_lasti)
+        entry = code_cache.get(code_id)
+        if entry is None:
+            internal = _is_internal(frame.f_globals.get("__name__", "?"))
+            code_cache[code_id] = (code, internal)
+        else:
+            internal = entry[1]
+        if not internal:
+            retained.append(frame)
         frame = frame.f_back
-    return ContextKey(tuple(frames)), walked
+    cache_key = tuple(sig)
+    cached = _site_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    frames = tuple(
+        ContextFrame(f"{f.f_globals.get('__name__', '?')}.{f.f_code.co_name}",
+                     f.f_lineno)
+        for f in retained)
+    if not frames:
+        frames = (TOPLEVEL_FRAME,)
+    result = (ContextKey(frames), walked)
+    _site_cache[cache_key] = result
+    return result
 
 
 class ContextRegistry:

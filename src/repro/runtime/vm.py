@@ -152,6 +152,14 @@ class RuntimeEnvironment:
         search binary-searches against.
         """
         aligned = self.model.align(size)
+        if self.gc.collecting:
+            # Allocation from inside a death hook: never start a nested
+            # cycle mid-sweep; the object is picked up by the next cycle.
+            self._bytes_since_gc += aligned
+            self.charge(self.costs.allocation_ticks(aligned))
+            return self.heap.allocate(type_name, aligned, payload=payload,
+                                      context_id=context_id,
+                                      on_death=on_death)
         if (self.gc_threshold_bytes is not None
                 and self._bytes_since_gc >= self.gc_threshold_bytes):
             # Periodic (young-generation analog) cycles are minor under

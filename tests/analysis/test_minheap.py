@@ -46,6 +46,51 @@ class TestFindMinHeap:
                           resolution=1)
 
 
+class TestLowerBracketVerification:
+    """``low`` is probed, not assumed failing: a true minimum at or
+    below the seed must still be found."""
+
+    def test_finds_minimum_below_the_seed(self):
+        threshold = 100
+        attempts = []
+
+        def attempt(limit):
+            attempts.append(limit)
+            return limit >= threshold
+
+        found, probes = find_min_heap(attempt, low=1000, high=4000,
+                                      resolution=8)
+        assert threshold <= found < threshold + 8
+        assert probes == len(attempts)
+
+    def test_seed_equal_to_minimum(self):
+        found, _ = find_min_heap(lambda limit: limit >= 1000,
+                                 low=1000, high=4000, resolution=8)
+        assert 1000 <= found < 1008
+
+    def test_always_succeeding_attempt_bottoms_out(self):
+        found, _ = find_min_heap(lambda limit: True, low=512, high=1024,
+                                 resolution=64)
+        assert found <= 64
+
+    def test_failing_seed_skips_downward_probe(self):
+        """When the doubling loop has already seen ``low`` fail, no
+        downward probes are spent re-checking it."""
+        attempts = []
+
+        def attempt(limit):
+            attempts.append(limit)
+            return limit >= 100
+
+        found, probes = find_min_heap(attempt, low=16, high=32,
+                                      resolution=8)
+        assert 100 <= found < 108
+        assert probes == len(attempts)
+        # Every probe below the first success came from the doubling
+        # loop, none from the lower-bracket verification.
+        assert min(attempts) == 32
+
+
 class GrowingWorkload(Workload):
     name = "growing"
 

@@ -1,0 +1,187 @@
+"""Wall-clock perf harness: suite output, schema validation, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis import perf
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def doc():
+    """One tiny suite run shared by every inspection test."""
+    return perf.run_suite(scale=0.05, repeats=1, workloads=("tvla",),
+                          include_gc_heavy=False)
+
+
+class TestRunSuite:
+    def test_document_is_schema_valid(self, doc):
+        perf.validate_document(doc)  # must not raise
+
+    def test_capture_on_and_off_are_measured(self, doc):
+        names = [record["name"] for record in doc["benchmarks"]]
+        assert names == ["tvla_capture_on", "tvla_capture_off"]
+
+    def test_records_carry_measurements(self, doc):
+        for record in doc["benchmarks"]:
+            assert record["wall_seconds"] > 0
+            assert record["ticks"] > 0
+            assert record["allocated_objects"] > 0
+            assert set(perf.PHASES) <= set(record["phases"])
+            assert record["wall_seconds"] == pytest.approx(
+                sum(record["phases"].values()))
+
+    def test_capture_off_skips_the_report_phase(self, doc):
+        by_name = {record["name"]: record for record in doc["benchmarks"]}
+        assert by_name["tvla_capture_off"]["phases"]["report"] == 0.0
+        assert by_name["tvla_capture_on"]["phases"]["report"] > 0.0
+
+    def test_gc_heavy_multiplies_cycles(self):
+        stressed = perf.run_suite(scale=0.05, repeats=1,
+                                  workloads=("tvla",),
+                                  include_gc_heavy=True)
+        by_name = {record["name"]: record
+                   for record in stressed["benchmarks"]}
+        assert by_name["gc_heavy"]["gc_cycles"] \
+            > by_name["tvla_capture_off"]["gc_cycles"]
+
+    def test_render_summary_names_every_benchmark(self, doc):
+        text = perf.render_summary(doc)
+        for record in doc["benchmarks"]:
+            assert record["name"] in text
+
+
+class TestValidateDocument:
+    def _assert_invalid(self, broken, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            perf.validate_document(broken)
+
+    def test_rejects_non_object(self):
+        self._assert_invalid([], "JSON object")
+
+    def test_rejects_missing_top_level_field(self, doc):
+        broken = copy.deepcopy(doc)
+        del broken["seed"]
+        self._assert_invalid(broken, "missing top-level field 'seed'")
+
+    def test_rejects_wrong_field_type(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["scale"] = "0.05"
+        self._assert_invalid(broken, "field 'scale' has type")
+
+    def test_rejects_bool_masquerading_as_int(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"][0]["ticks"] = True
+        self._assert_invalid(broken, "'ticks'")
+
+    def test_rejects_negative_wall_seconds(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"][0]["wall_seconds"] = -0.5
+        self._assert_invalid(broken, "negative wall_seconds")
+
+    def test_rejects_negative_phase(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"][0]["phases"]["run"] = -1.0
+        self._assert_invalid(broken, "phase 'run'")
+
+    def test_rejects_duplicate_benchmark_names(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"].append(
+            copy.deepcopy(broken["benchmarks"][0]))
+        self._assert_invalid(broken, "duplicate benchmark name")
+
+    def test_rejects_empty_benchmark_list(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"] = []
+        self._assert_invalid(broken, "empty")
+
+    def test_rejects_newer_schema_version(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["schema_version"] = perf.SCHEMA_VERSION + 1
+        self._assert_invalid(broken, "newer")
+
+    def test_rejects_missing_record_field(self, doc):
+        broken = copy.deepcopy(doc)
+        del broken["benchmarks"][0]["gc_cycles"]
+        self._assert_invalid(broken, "missing field 'gc_cycles'")
+
+
+class TestCompare:
+    def _record(self, name, wall, ticks):
+        return {"name": name, "workload": "tvla", "capture": False,
+                "repeats": 1, "wall_seconds": wall, "phases": {},
+                "ticks": ticks, "gc_cycles": 0, "allocated_objects": 1}
+
+    def test_ratio_for_matching_ticks(self):
+        old = {"benchmarks": [self._record("a", 2.0, 100)]}
+        new = {"benchmarks": [self._record("a", 1.0, 100)]}
+        assert perf.compare(old, new) == {"a": 0.5}
+
+    def test_nan_when_ticks_diverge(self):
+        import math
+
+        old = {"benchmarks": [self._record("a", 2.0, 100)]}
+        new = {"benchmarks": [self._record("a", 1.0, 101)]}
+        assert math.isnan(perf.compare(old, new)["a"])
+
+    def test_unmatched_benchmarks_are_skipped(self):
+        old = {"benchmarks": [self._record("a", 2.0, 100)]}
+        new = {"benchmarks": [self._record("b", 1.0, 100)]}
+        assert perf.compare(old, new) == {}
+
+
+class TestPersistence:
+    def test_write_load_roundtrip(self, doc, tmp_path):
+        path = tmp_path / "BENCH_chameleon.json"
+        perf.write_document(doc, str(path))
+        assert perf.load_document(str(path)) == json.loads(
+            path.read_text())
+
+    def test_write_refuses_invalid_document(self, doc, tmp_path):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"] = []
+        path = tmp_path / "broken.json"
+        with pytest.raises(ValueError):
+            perf.write_document(broken, str(path))
+        assert not path.exists()
+
+    def test_load_refuses_invalid_document(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError):
+            perf.load_document(str(path))
+
+
+class TestCli:
+    def test_perf_writes_and_checks(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_chameleon.json"
+        assert main(["perf", "--scale", "0.05", "--repeats", "1",
+                     "--no-gc-heavy", "--output", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tvla_capture_on" in out
+        assert path.exists()
+        assert main(["perf", "--check", str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_perf_check_fails_on_invalid_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["perf", "--check", str(path)])
+        assert "invalid BENCH document" in str(excinfo.value)
+
+    def test_perf_check_fails_on_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["perf", "--check", str(tmp_path / "absent.json")])
+
+    def test_perf_baseline_comparison(self, doc, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        perf.write_document(doc, str(baseline))
+        output = tmp_path / "new.json"
+        assert main(["perf", "--scale", "0.05", "--repeats", "1",
+                     "--no-gc-heavy", "--output", str(output),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out

@@ -107,6 +107,79 @@ class TestDeathHooks:
         assert deaths == []
 
 
+class TestDeathHookReentrancy:
+    """Hooks that mutate the heap mid-sweep (the paper's selective-
+    finalizer analog) must not corrupt the freed accounting or the
+    live-set/free-list split."""
+
+    def test_hook_allocation_survives_the_cycle(self, heap, gc):
+        born = []
+
+        def resurrect(obj):
+            born.append(heap.allocate("Phoenix", 32))
+
+        heap.allocate("Dying", 16, on_death=resurrect)
+        stats = gc.collect()
+        assert stats.freed_objects == 1
+        assert stats.freed_bytes == 16
+        assert len(born) == 1
+        assert heap.contains(born[0].obj_id)  # snapshot: not swept now
+        assert heap.total_freed_objects == 1
+        assert heap.total_freed_bytes == 16
+
+    def test_hook_freeing_another_dead_object_counts_once(self, heap, gc):
+        partner_of = {}
+
+        def free_partner(obj):
+            partner = partner_of[obj.obj_id]
+            if heap.contains(partner.obj_id):
+                heap.free(partner)
+
+        a = heap.allocate("A", 16, on_death=free_partner)
+        b = heap.allocate("B", 16, on_death=free_partner)
+        partner_of[a.obj_id] = b
+        partner_of[b.obj_id] = a
+        stats = gc.collect()
+        assert len(heap) == 0
+        # Whichever the sweeper yielded first freed the other via its
+        # hook; the sweeper then skips the already-freed one, so each
+        # object is accounted exactly once.
+        assert stats.freed_objects == 1
+        assert stats.freed_bytes == 16
+        assert heap.total_freed_objects == 2
+        assert heap.total_freed_bytes == 32
+
+    def test_free_list_stays_consistent_across_cycles(self, heap, gc):
+        spawned = []
+
+        def spawn(obj):
+            spawned.append(heap.allocate("Spawn", 8))
+
+        root = heap.allocate("Root", 8)
+        heap.add_root(root)
+        for _ in range(3):
+            heap.allocate("Dying", 8, on_death=spawn)
+        first = gc.collect()
+        assert first.freed_objects == 3
+        assert all(heap.contains(obj.obj_id) for obj in spawned)
+        # The hook-born objects are unreachable; the next cycle reclaims
+        # them cleanly -- no stale free-list state survives.
+        second = gc.collect()
+        assert second.freed_objects == 3
+        assert heap.total_freed_objects == 6
+        assert heap.contains(root.obj_id)
+        assert len(heap) == 1
+
+    def test_collecting_flag_set_only_during_sweep(self, heap, gc):
+        seen = []
+        heap.allocate("Dying", 8,
+                      on_death=lambda obj: seen.append(gc.collecting))
+        assert gc.collecting is False
+        gc.collect()
+        assert seen == [True]
+        assert gc.collecting is False
+
+
 class TestCycleStats:
     def test_live_data_sums_reachable_sizes(self, heap, gc):
         root = heap.allocate("Root", 24)

@@ -89,3 +89,75 @@ class TestMerge:
         a.observe(1.0)
         a.merge(Welford())
         assert a.count == 1
+
+
+class TestMergeEquivalence:
+    """Chan's parallel merge must be indistinguishable from observing the
+    same stream sequentially -- the guarantee the flat counter-array
+    refactor relies on when folding per-instance accumulators."""
+
+    @given(st.lists(_floats, min_size=1, max_size=120),
+           st.data())
+    def test_merge_equals_interleaved_observation(self, values, data):
+        # Split the stream at arbitrary points into k >= 1 chunks.
+        cuts = sorted(data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(values)), max_size=4)))
+        chunks, start = [], 0
+        for cut in cuts + [len(values)]:
+            chunks.append(values[start:cut])
+            start = cut
+
+        merged = Welford()
+        for chunk in chunks:
+            part = Welford()
+            for value in chunk:
+                part.observe(value)
+            merged.merge(part)
+
+        sequential = Welford()
+        for value in values:
+            sequential.observe(value)
+
+        assert merged.count == sequential.count
+        assert merged.min == sequential.min
+        assert merged.max == sequential.max
+        assert math.isclose(merged.mean, sequential.mean,
+                            rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(merged.variance, sequential.variance,
+                            rel_tol=1e-6, abs_tol=1e-4)
+
+    @given(st.lists(_floats, min_size=2, max_size=60))
+    def test_merge_is_associative_enough(self, values):
+        """((a+b)+c) and (a+(b+c)) agree with the sequential stream."""
+        third = max(len(values) // 3, 1)
+        parts = [values[:third], values[third:2 * third], values[2 * third:]]
+        accs = []
+        for part in parts:
+            acc = Welford()
+            for value in part:
+                acc.observe(value)
+            accs.append(acc)
+
+        left = Welford()
+        left.merge(accs[0])
+        left.merge(accs[1])
+        left.merge(accs[2])
+
+        right_tail = Welford()
+        right_tail.merge(accs[1])
+        right_tail.merge(accs[2])
+        right = Welford()
+        right.merge(accs[0])
+        right.merge(right_tail)
+
+        sequential = Welford()
+        for value in values:
+            sequential.observe(value)
+        for acc in (left, right):
+            assert acc.count == sequential.count
+            assert math.isclose(acc.mean, sequential.mean,
+                                rel_tol=1e-9, abs_tol=1e-6)
+            assert math.isclose(acc.variance, sequential.variance,
+                                rel_tol=1e-6, abs_tol=1e-4)
+            assert acc.min == sequential.min
+            assert acc.max == sequential.max

@@ -1,7 +1,8 @@
 """Allocation-context capture, rendering and interning."""
 
-from repro.runtime.context import (ContextFrame, ContextKey, ContextRegistry,
-                                   capture_context)
+from repro.runtime.context import (TOPLEVEL_FRAME, ContextFrame, ContextKey,
+                                   ContextRegistry, capture_context,
+                                   clear_capture_caches)
 
 
 def _inner_site(depth=2):
@@ -40,6 +41,61 @@ class TestCapture:
             return _inner_site(depth=3)
         _, walked = deep3()
         assert walked >= 3
+
+
+class TestShallowStacks:
+    """Regression: ``skip`` deeper than the live stack used to raise
+    ``ValueError`` from ``sys._getframe``; it must fall back to a
+    synthetic ``<toplevel>`` site instead."""
+
+    def test_skip_beyond_stack_yields_toplevel(self):
+        key, walked = capture_context(depth=2, skip=500)
+        assert walked == 0
+        assert key.frames == (TOPLEVEL_FRAME,)
+        assert key.site.location == "<toplevel>"
+
+    def test_no_skip_depth_combination_raises(self):
+        for skip in (0, 10, 50, 200, 1000):
+            key, _ = capture_context(depth=2, skip=skip)
+            assert key.depth >= 1
+
+    def test_toplevel_interns_to_one_context(self):
+        registry = ContextRegistry(depth=2)
+        first = registry.intern(capture_context(depth=2, skip=500)[0])
+        second = registry.intern(capture_context(depth=2, skip=500)[0])
+        assert first == second
+
+
+class TestCaptureMemo:
+    """The memoized fast path must be indistinguishable from a cold
+    frame walk -- same key, same walked count (tick charges depend on
+    it)."""
+
+    def test_warm_capture_matches_cold(self):
+        clear_capture_caches()
+        cold = _outer_caller()
+        warm = _outer_caller()
+        assert warm == cold
+
+    def test_clear_caches_is_idempotent(self):
+        clear_capture_caches()
+        clear_capture_caches()
+        key, walked = _outer_caller()
+        assert "_inner_site" in key.frames[0].location
+        assert walked >= 2
+
+    def test_memo_preserves_site_distinction(self):
+        registry = ContextRegistry(depth=2)
+
+        def site():
+            return registry.capture(skip=0)
+
+        # Repeats of one call line share a context even once the memo
+        # is warm; a second call line still gets its own.
+        ids = {site()[0] for _ in range(3)}
+        assert len(ids) == 1
+        other, _ = site()
+        assert other not in ids
 
 
 class TestContextKey:
