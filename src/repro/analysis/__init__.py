@@ -1,12 +1,15 @@
-"""Experiment harness: minimal-heap search and per-figure runners."""
+"""Experiment harness: minimal-heap search, per-figure runners, and the
+process-pool experiment scheduler."""
 
 from repro.analysis.heapdump import (HistogramRow, heap_histogram,
                                      render_histogram)
 from repro.analysis.minheap import MinHeapResult, find_min_heap, measure_min_heap
+from repro.analysis.scheduler import Job, JobError, JobGraph, Scheduler
 from repro.analysis.tables import ExperimentRow, render_series, render_table
 
 __all__ = [
     "HistogramRow", "heap_histogram", "render_histogram",
     "MinHeapResult", "find_min_heap", "measure_min_heap",
+    "Job", "JobError", "JobGraph", "Scheduler",
     "ExperimentRow", "render_series", "render_table",
 ]

@@ -14,11 +14,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.minheap import measure_min_heap
+from repro.analysis.scheduler import JobGraph, Scheduler
 from repro.analysis.tables import (ExperimentRow,
                                    render_fraction_chart, render_series,
                                    render_table)
 from repro.core.apply import ReplacementMap
-from repro.core.chameleon import Chameleon, RunMetrics
+from repro.core.chameleon import Chameleon, RunMetrics, SessionCache
 from repro.core.config import ToolConfig
 from repro.core.online import OnlineChameleon
 from repro.runtime.vm import ImplementationChoice
@@ -30,7 +31,8 @@ __all__ = [
     "Fig6Result", "Fig7Result", "OnlineResult", "HybridResult",
     "run_fig2", "run_fig3", "run_fig6", "run_fig7", "run_fig8",
     "run_online", "run_hybrid_ablation", "run_profiling_overhead",
-    "run_all", "OverheadResult",
+    "run_all", "OverheadResult", "get_session_cache",
+    "reset_session_cache",
 ]
 
 # ---------------------------------------------------------------------------
@@ -72,8 +74,32 @@ PAPER_PMD_GC_REDUCTION = 0.16   # "the number of GCs reduced by 16%"
 PAPER_BLOAT_ENTRY_FRACTION = 0.25  # "around 25% of the heap ... Entry"
 
 
+# ---------------------------------------------------------------------------
+# Profiling-session cache shared by every runner in this process.
+#
+# Fig. 3, Fig. 6, Fig. 7 and the hybrid ablation all profile the same
+# workloads under the same configuration; the cache makes each distinct
+# (workload, config) profile happen once per process.  Scheduler workers
+# each hold their own copy of this module, so at jobs>1 the cache works
+# per worker -- results are unchanged either way because profiled runs
+# are deterministic.
+# ---------------------------------------------------------------------------
+_SESSION_CACHE = SessionCache()
+
+
+def get_session_cache() -> SessionCache:
+    """This process's experiment session cache (hit/miss counters live
+    here; the CLI spills and reloads it for cross-invocation reuse)."""
+    return _SESSION_CACHE
+
+
+def reset_session_cache() -> None:
+    """Drop every cached session and zero the counters."""
+    _SESSION_CACHE.clear()
+
+
 def _tool(config: Optional[ToolConfig] = None) -> Chameleon:
-    return Chameleon(config or ToolConfig())
+    return Chameleon(config or ToolConfig(), session_cache=_SESSION_CACHE)
 
 
 # ---------------------------------------------------------------------------
@@ -160,43 +186,73 @@ class Fig6Result:
                             self.rows)
 
 
-def run_fig6(scale: float = 0.5, resolution: int = 8192) -> Fig6Result:
+#: The three minimal-heap searches behind each Fig. 6 bar.
+_FIG6_VARIANTS = ("base", "auto", "manual")
+
+
+def _fig6_variant_job(workload_class, scale: float, resolution: int,
+                      variant: str) -> Dict[str, int]:
+    """One Fig. 6 minimal-heap search (scheduler job).
+
+    ``base`` searches the unmodified workload, ``auto`` profiles it and
+    searches under the tool-built policy, ``manual`` searches the
+    hand-fixed (``manual_fixes``) variant.
+    """
+    tool = _tool()
+    workload = workload_class(scale=scale,
+                              manual_fixes=(variant == "manual"))
+    policy = None
+    contexts_replaced = 0
+    if variant == "auto":
+        session = tool.profile(workload_class(scale=scale))
+        policy = tool.build_policy(session.suggestions)
+        contexts_replaced = len(policy)
+    result = measure_min_heap(tool, workload, policy=policy,
+                              resolution=resolution)
+    return {"min_heap": result.min_heap_bytes,
+            "contexts_replaced": contexts_replaced}
+
+
+def run_fig6(scale: float = 0.5, resolution: int = 8192,
+             scheduler: Optional[Scheduler] = None) -> Fig6Result:
     """Regenerate Fig. 6: profile, apply, and re-search the minimal heap.
 
     For each benchmark the *auto* row applies the tool's suggestions
     through the replacement policy; the headline row additionally uses the
     workload's ``manual_fixes`` variant where the paper applied source
     edits beyond automatic replacement (bloat's lazy allocation).
+
+    The 3 searches x 6 benchmarks are independent jobs; a scheduler with
+    ``jobs > 1`` fans them across a process pool with results merged in
+    benchmark order, so the figure is identical at any parallelism.
     """
-    tool = _tool()
+    scheduler = scheduler or Scheduler(jobs=1)
+    graph = JobGraph()
+    for workload_class in BENCHMARKS:
+        for variant in _FIG6_VARIANTS:
+            graph.add(f"fig6:{workload_class.name}:{variant}",
+                      _fig6_variant_job, workload_class, scale, resolution,
+                      variant)
+    searches = scheduler.run(graph)
     rows: List[ExperimentRow] = []
     details: Dict[str, Dict[str, int]] = {}
     for workload_class in BENCHMARKS:
-        workload = workload_class(scale=scale)
-        session = tool.profile(workload)
-        policy = tool.build_policy(session.suggestions)
-        base = measure_min_heap(tool, workload, resolution=resolution)
-        auto = measure_min_heap(tool, workload, policy=policy,
-                                resolution=resolution)
-        manual_workload = workload_class(scale=scale, manual_fixes=True)
-        manual = measure_min_heap(tool, manual_workload,
-                                  resolution=resolution)
-        auto_saved = 1.0 - auto.min_heap_bytes / base.min_heap_bytes
-        manual_saved = 1.0 - manual.min_heap_bytes / base.min_heap_bytes
+        name = workload_class.name
+        base, auto, manual = (
+            searches[f"fig6:{name}:{variant}"]["min_heap"]
+            for variant in _FIG6_VARIANTS)
+        contexts_replaced = \
+            searches[f"fig6:{name}:auto"]["contexts_replaced"]
+        auto_saved = 1.0 - auto / base
+        manual_saved = 1.0 - manual / base
         best_saved = max(auto_saved, manual_saved)
-        name = workload.name
         rows.append(ExperimentRow(
             name, "min-heap saved", PAPER_FIG6.get(name), best_saved,
-            note=f"{base.min_heap_bytes}B -> "
-                 f"{min(auto.min_heap_bytes, manual.min_heap_bytes)}B"))
+            note=f"{base}B -> {min(auto, manual)}B"))
         rows.append(ExperimentRow(
             name, "min-heap saved (auto)", PAPER_FIG6_AUTO.get(name),
-            auto_saved, note=f"{len(policy)} contexts replaced"))
-        details[name] = {
-            "base": base.min_heap_bytes,
-            "auto": auto.min_heap_bytes,
-            "manual": manual.min_heap_bytes,
-        }
+            auto_saved, note=f"{contexts_replaced} contexts replaced"))
+        details[name] = {"base": base, "auto": auto, "manual": manual}
     return Fig6Result(rows=rows, details=details)
 
 
@@ -221,34 +277,57 @@ class Fig7Result:
             "Fig. 7: running time at the original minimal heap", self.rows)
 
 
-def run_fig7(scale: float = 0.5, resolution: int = 8192) -> Fig7Result:
-    """Regenerate Fig. 7: both configurations run under the *original*
-    minimal-heap limit (section 5.2, step 6)."""
+def _fig7_benchmark_job(workload_class, scale: float,
+                        resolution: int) -> Dict[str, int]:
+    """One Fig. 7 bar (scheduler job): search the original minimal heap,
+    then time baseline and optimized under it."""
     tool = _tool()
+    workload = workload_class(scale=scale)
+    session = tool.profile(workload_class(scale=scale))
+    policy = tool.build_policy(session.suggestions)
+    base_heap = measure_min_heap(tool, workload,
+                                 resolution=resolution).min_heap_bytes
+    _, baseline = tool.plain_run(workload.fresh(), heap_limit=base_heap)
+    if workload.name == "bloat":
+        # The paper's bloat fix is the manual lazy allocation.
+        _, optimized = tool.plain_run(
+            workload_class(scale=scale, manual_fixes=True),
+            heap_limit=base_heap)
+    else:
+        _, optimized = tool.plain_run(workload.fresh(), policy=policy,
+                                      heap_limit=base_heap)
+    return {"baseline_ticks": baseline.ticks,
+            "optimized_ticks": optimized.ticks,
+            "baseline_gcs": baseline.gc_cycles,
+            "optimized_gcs": optimized.gc_cycles}
+
+
+def run_fig7(scale: float = 0.5, resolution: int = 8192,
+             scheduler: Optional[Scheduler] = None) -> Fig7Result:
+    """Regenerate Fig. 7: both configurations run under the *original*
+    minimal-heap limit (section 5.2, step 6).
+
+    One independent job per benchmark; a scheduler with ``jobs > 1``
+    runs them on the process pool, merged in benchmark order.
+    """
+    scheduler = scheduler or Scheduler(jobs=1)
+    graph = JobGraph()
+    for workload_class in BENCHMARKS:
+        graph.add(f"fig7:{workload_class.name}", _fig7_benchmark_job,
+                  workload_class, scale, resolution)
+    measured = scheduler.run(graph)
     rows: List[ExperimentRow] = []
     cycles: Dict[str, Tuple[int, int]] = {}
     for workload_class in BENCHMARKS:
-        workload = workload_class(scale=scale)
-        session = tool.profile(workload)
-        policy = tool.build_policy(session.suggestions)
-        base_heap = measure_min_heap(tool, workload,
-                                     resolution=resolution).min_heap_bytes
-        _, baseline = tool.plain_run(workload, heap_limit=base_heap)
-        if workload.name == "bloat":
-            # The paper's bloat fix is the manual lazy allocation.
-            _, optimized = tool.plain_run(
-                workload_class(scale=scale, manual_fixes=True),
-                heap_limit=base_heap)
-        else:
-            _, optimized = tool.plain_run(workload, policy=policy,
-                                          heap_limit=base_heap)
-        speedup = baseline.ticks / optimized.ticks if optimized.ticks else 1.0
-        name = workload.name
+        name = workload_class.name
+        bar = measured[f"fig7:{name}"]
+        speedup = (bar["baseline_ticks"] / bar["optimized_ticks"]
+                   if bar["optimized_ticks"] else 1.0)
         rows.append(ExperimentRow(
             name, "speedup @ original min-heap", PAPER_FIG7.get(name),
             speedup, unit="x",
-            note=f"GCs {baseline.gc_cycles} -> {optimized.gc_cycles}"))
-        cycles[name] = (baseline.gc_cycles, optimized.gc_cycles)
+            note=f"GCs {bar['baseline_gcs']} -> {bar['optimized_gcs']}"))
+        cycles[name] = (bar["baseline_gcs"], bar["optimized_gcs"])
     return Fig7Result(rows=rows, gc_cycles=cycles)
 
 
@@ -451,7 +530,8 @@ def run_profiling_overhead(scale: float = 0.4,
       (section 4.2's mitigation).
     * *full* -- every allocation captured and profiled.
     """
-    from repro.runtime.sampling import NeverSample, RateSampler
+    from repro.runtime.sampling import (AlwaysSample, NeverSample,
+                                        RateSampler)
     from repro.profiler.profiler import SemanticProfiler
 
     tool = _tool()
@@ -461,8 +541,11 @@ def run_profiling_overhead(scale: float = 0.4,
         _, plain = tool.plain_run(workload)
 
         def instrumented_ticks(sampling) -> int:
+            # A fresh instance per posture: reusing one workload object
+            # across the vm-only/sampled/full runs would let instance
+            # state bleed between postures and skew the comparison.
             vm = tool.make_vm(profiler=SemanticProfiler(sampling))
-            workload.run(vm)
+            workload.fresh().run(vm)
             vm.finish()
             return vm.now
 
@@ -470,11 +553,8 @@ def run_profiling_overhead(scale: float = 0.4,
         for mode, sampling in (
                 ("vm-only overhead", NeverSample()),
                 ("sampled (1/8) overhead", RateSampler(8)),
-                ("full-profiling overhead", None)):
-            ticks = instrumented_ticks(sampling) if sampling is not None \
-                else instrumented_ticks(
-                    __import__("repro.runtime.sampling",
-                               fromlist=["AlwaysSample"]).AlwaysSample())
+                ("full-profiling overhead", AlwaysSample())):
+            ticks = instrumented_ticks(sampling)
             rows.append(ExperimentRow(
                 name, mode, None, ticks / plain.ticks - 1.0,
                 note=f"{ticks} vs {plain.ticks} ticks"))
@@ -484,16 +564,32 @@ def run_profiling_overhead(scale: float = 0.4,
 # ---------------------------------------------------------------------------
 # Everything
 # ---------------------------------------------------------------------------
-def run_all(scale: float = 0.5, resolution: int = 8192) -> str:
-    """Run every experiment and return the combined report text."""
-    parts = [
-        run_fig2(scale=scale).render(),
-        run_fig3(scale=scale).render(),
-        run_fig6(scale=scale, resolution=resolution).render(),
-        run_fig7(scale=scale, resolution=resolution).render(),
-        run_fig8(scale=scale).render(),
-        run_online(scale=scale).render(),
-        run_hybrid_ablation(scale=scale).render(),
-        run_profiling_overhead(scale=scale).render(),
-    ]
+def run_all(scale: float = 0.5, resolution: int = 8192, jobs: int = 1,
+            scheduler: Optional[Scheduler] = None) -> str:
+    """Run every experiment and return the combined report text.
+
+    ``jobs > 1`` (or an explicit ``scheduler``) fans the independent
+    Fig. 6 / Fig. 7 work out across a process pool; because every job is
+    deterministic and results merge in job order, the report text is
+    byte-identical at any parallelism.  The session cache additionally
+    keeps the per-process profiles shared across figures.
+    """
+    owns_scheduler = scheduler is None
+    scheduler = scheduler or Scheduler(jobs=jobs)
+    try:
+        parts = [
+            run_fig2(scale=scale).render(),
+            run_fig3(scale=scale).render(),
+            run_fig6(scale=scale, resolution=resolution,
+                     scheduler=scheduler).render(),
+            run_fig7(scale=scale, resolution=resolution,
+                     scheduler=scheduler).render(),
+            run_fig8(scale=scale).render(),
+            run_online(scale=scale).render(),
+            run_hybrid_ablation(scale=scale).render(),
+            run_profiling_overhead(scale=scale).render(),
+        ]
+    finally:
+        if owns_scheduler:
+            scheduler.close()
     return "\n\n".join(parts)

@@ -35,10 +35,14 @@ from repro.runtime.vm import RuntimeEnvironment
 from repro.workloads import default_workload_registry
 
 __all__ = ["SCHEMA", "SCHEMA_VERSION", "BenchRecord", "run_suite",
-           "validate_document", "compare", "render_summary"]
+           "run_suite_section", "validate_document", "compare",
+           "tick_divergences", "render_summary"]
 
 SCHEMA = "chameleon-perf"
-SCHEMA_VERSION = 1
+#: v2 adds the optional top-level ``suite`` section: serial-vs-parallel
+#: wall time for the Fig. 6 + Fig. 7 pair plus session-cache hit counts.
+#: v1 documents (no ``suite`` key) remain valid.
+SCHEMA_VERSION = 2
 
 #: The default workload pair: the section 5.4 extremes.
 DEFAULT_WORKLOADS = ("tvla", "pmd")
@@ -141,10 +145,61 @@ def _bench(name: str, tool: Chameleon, workload_name: str, scale: float,
     )
 
 
+def run_suite_section(scale: float = 0.1, resolution: int = 16384,
+                      jobs: int = 2) -> dict:
+    """Measure the experiment-scheduler trajectory: the Fig. 6 + Fig. 7
+    pair, serial (``jobs=1``, the reference path) versus fan-out on a
+    ``jobs``-worker process pool, from a cold session cache each time.
+
+    Returns the document's ``suite`` section: both wall times, the
+    speedup, the serial pass's session-cache hit counts, and whether the
+    two rendered reports were byte-identical (the scheduler's
+    determinism contract, asserted here on every perf run).
+    """
+    from repro.analysis import experiments
+    from repro.analysis.scheduler import Scheduler
+
+    experiments.reset_session_cache()
+    start = time.perf_counter()
+    serial = (experiments.run_fig6(scale=scale, resolution=resolution),
+              experiments.run_fig7(scale=scale, resolution=resolution))
+    serial_seconds = time.perf_counter() - start
+    cache = experiments.get_session_cache()
+    cache_hits, cache_misses = cache.hits, cache.misses
+
+    experiments.reset_session_cache()
+    with Scheduler(jobs=jobs) as scheduler:
+        start = time.perf_counter()
+        parallel = (
+            experiments.run_fig6(scale=scale, resolution=resolution,
+                                 scheduler=scheduler),
+            experiments.run_fig7(scale=scale, resolution=resolution,
+                                 scheduler=scheduler))
+        parallel_seconds = time.perf_counter() - start
+
+    identical = all(s.render() == p.render()
+                    for s, p in zip(serial, parallel))
+    return {
+        "scale": scale,
+        "resolution": resolution,
+        "jobs": jobs,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": (serial_seconds / parallel_seconds
+                    if parallel_seconds else 0.0),
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "identical": identical,
+    }
+
+
 def run_suite(scale: float = 0.2, repeats: int = 3, seed: int = 2009,
               workloads: Tuple[str, ...] = DEFAULT_WORKLOADS,
               include_gc_heavy: bool = True,
-              cold_caches: bool = False) -> dict:
+              cold_caches: bool = False,
+              suite_jobs: Optional[int] = None,
+              suite_scale: float = 0.1,
+              suite_resolution: int = 16384) -> dict:
     """Run the full suite; returns the ``BENCH_chameleon.json`` document.
 
     Args:
@@ -157,6 +212,12 @@ def run_suite(scale: float = 0.2, repeats: int = 3, seed: int = 2009,
             sweep rather than the allocation path).
         cold_caches: Clear the allocation-context capture memo first, so
             the run measures cold-start rather than steady-state capture.
+        suite_jobs: When set (> 1), also measure the experiment-scheduler
+            section (:func:`run_suite_section`) at this parallelism and
+            record it under the document's ``suite`` key.
+        suite_scale: Workload scale for the scheduler section.
+        suite_resolution: Min-heap search resolution for the scheduler
+            section.
     """
     if cold_caches:
         clear_capture_caches()
@@ -172,7 +233,7 @@ def run_suite(scale: float = 0.2, repeats: int = 3, seed: int = 2009,
         records.append(_bench("gc_heavy", tool, workloads[0], scale, seed,
                               repeats, capture=False,
                               gc_threshold_bytes=16 * 1024))
-    return {
+    doc = {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,
         "python": sys.version.split()[0],
@@ -182,6 +243,11 @@ def run_suite(scale: float = 0.2, repeats: int = 3, seed: int = 2009,
         "repeats": max(repeats, 1),
         "benchmarks": [record.to_dict() for record in records],
     }
+    if suite_jobs is not None and suite_jobs > 1:
+        doc["suite"] = run_suite_section(scale=suite_scale,
+                                         resolution=suite_resolution,
+                                         jobs=suite_jobs)
+    return doc
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +274,19 @@ _RECORD_FIELDS = {
     "ticks": int,
     "gc_cycles": int,
     "allocated_objects": int,
+}
+
+#: Schema of the optional (v2+) top-level ``suite`` section.
+_SUITE_FIELDS = {
+    "scale": (int, float),
+    "resolution": int,
+    "jobs": int,
+    "serial_seconds": (int, float),
+    "parallel_seconds": (int, float),
+    "speedup": (int, float),
+    "cache_hits": int,
+    "cache_misses": int,
+    "identical": bool,
 }
 
 
@@ -256,6 +335,21 @@ def validate_document(doc: object) -> None:
         seen.add(name)
     if not doc.get("benchmarks"):
         problems.append("benchmarks list is empty")
+    suite = doc.get("suite")
+    if suite is not None:
+        # Optional section (schema v2+): absent in v1 documents, which
+        # therefore stay valid.
+        if not isinstance(suite, dict):
+            problems.append("suite section is not an object")
+        else:
+            for key, expected in _SUITE_FIELDS.items():
+                if key not in suite:
+                    problems.append(f"suite: missing field {key!r}")
+                elif not isinstance(suite[key], expected) \
+                        or (expected is int and isinstance(suite[key],
+                                                           bool)):
+                    problems.append(f"suite: field {key!r} has type "
+                                    f"{type(suite[key]).__name__}")
     if problems:
         raise ValueError("invalid BENCH document: " + "; ".join(problems))
 
@@ -282,6 +376,25 @@ def compare(old_doc: dict, new_doc: dict) -> Dict[str, float]:
     return ratios
 
 
+def tick_divergences(old_doc: dict, new_doc: dict) -> List[Tuple[str, int,
+                                                                 int]]:
+    """Benchmarks whose simulated ticks differ between two documents.
+
+    Returns ``(name, old_ticks, new_ticks)`` triples in new-document
+    order.  A non-empty list means the documents measured *different
+    simulated work* -- a baseline comparison over them is meaningless
+    and the CLI refuses it, naming each offender with both tick values.
+    """
+    old_by_name = {r["name"]: r for r in old_doc.get("benchmarks", [])}
+    diverged = []
+    for record in new_doc.get("benchmarks", []):
+        old = old_by_name.get(record["name"])
+        if old is not None and old.get("ticks") != record.get("ticks"):
+            diverged.append((record["name"], old.get("ticks"),
+                             record.get("ticks")))
+    return diverged
+
+
 def render_summary(doc: dict) -> str:
     """Human-readable table of a BENCH document."""
     lines = [f"perf suite (scale={doc['scale']}, repeats={doc['repeats']}, "
@@ -294,6 +407,15 @@ def render_summary(doc: dict) -> str:
             f"{record['phases'].get('run', 0.0):>9.4f} "
             f"{record['ticks']:>12} {record['gc_cycles']:>5} "
             f"{record['allocated_objects']:>9}")
+    suite = doc.get("suite")
+    if suite is not None:
+        lines.append(
+            f"suite (fig6+fig7, scale={suite['scale']}, "
+            f"jobs={suite['jobs']}): serial {suite['serial_seconds']:.2f}s, "
+            f"parallel {suite['parallel_seconds']:.2f}s "
+            f"({suite['speedup']:.2f}x), session cache "
+            f"{suite['cache_hits']} hits / {suite['cache_misses']} misses, "
+            f"results {'identical' if suite['identical'] else 'DIVERGED'}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,238 @@
+"""Process-pool experiment scheduler: deterministic fan-out for the suite.
+
+The paper's evaluation is a bag of *independent, deterministic* simulated
+runs: every Fig. 6 bar is three minimal-heap searches, every Fig. 7 bar a
+search plus two timed runs, and every search is itself a chain of probe
+runs.  Nothing about those runs shares state, so they parallelise
+perfectly -- the same structure Darwinian Data Structure Selection and
+MapReplay exploit to make search-over-benchmarks tractable.
+
+This module supplies the execution layer:
+
+* :class:`Job` / :class:`JobGraph` -- named work units with optional
+  dependency edges, validated for cycles and duplicates.
+* :class:`Scheduler` -- runs a graph either **in-process** (``jobs=1``,
+  the reference path: plain sequential calls, no pickling, no pool) or on
+  a ``multiprocessing`` worker pool (``jobs>1``).
+
+Determinism contract: results are merged in job-insertion order, forked
+workers share the parent interpreter's hash seed (so str/bytes hashing
+-- which the simulated hash tables' tick counts depend on -- behaves
+identically in the serial reference and in every worker), and every job
+must be a pure function of its (picklable) arguments.  Under that
+contract the output of ``Scheduler(jobs=n).run(graph)`` is identical for
+every ``n`` -- the experiment runners and their tests rely on it.
+Reproducibility *across program invocations* additionally requires
+launching the whole program under a fixed ``PYTHONHASHSEED``, exactly as
+for the serial suite (see PR 1's note in CHANGES.md).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Job", "JobGraph", "JobError", "Scheduler"]
+
+#: Hash seed exported into every worker's environment.  A forked worker
+#: already shares the parent's live hash seed (that is what keeps worker
+#: runs identical to the serial reference); the export pins any *further*
+#: interpreters a job might launch, and covers spawn-style pools where
+#: the env reaches the worker before interpreter startup.
+WORKER_HASHSEED = "2009"
+
+
+class JobError(RuntimeError):
+    """A job raised; carries the job id so failures are attributable."""
+
+    def __init__(self, job_id: str, cause: BaseException) -> None:
+        super().__init__(f"job {job_id!r} failed: "
+                         f"{type(cause).__name__}: {cause}")
+        self.job_id = job_id
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: a picklable top-level function plus arguments.
+
+    When ``deps`` is non-empty the function receives one extra leading
+    argument -- a dict mapping each dependency's id to its result --
+    before ``args``.
+    """
+
+    job_id: str
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+
+
+class JobGraph:
+    """An ordered collection of jobs with dependency edges."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+
+    def add(self, job_id: str, fn: Callable[..., Any], *args: Any,
+            deps: Sequence[str] = (), **kwargs: Any) -> Job:
+        """Append a job; insertion order is the deterministic merge order."""
+        if job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job_id!r}")
+        job = Job(job_id=job_id, fn=fn, args=tuple(args),
+                  kwargs=dict(kwargs), deps=tuple(deps))
+        self._jobs[job_id] = job
+        return job
+
+    def add_job(self, job: Job) -> Job:
+        """Append an already-built :class:`Job`."""
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        self._jobs[job.job_id] = job
+        return job
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs.values())
+
+    def job_ids(self) -> List[str]:
+        """Job ids in insertion (merge) order."""
+        return list(self._jobs)
+
+    def waves(self) -> List[List[Job]]:
+        """Topological execution waves, insertion-ordered within a wave.
+
+        Raises ``ValueError`` on unknown dependencies or cycles.
+        """
+        for job in self._jobs.values():
+            for dep in job.deps:
+                if dep not in self._jobs:
+                    raise ValueError(f"job {job.job_id!r} depends on "
+                                     f"unknown job {dep!r}")
+        done: set = set()
+        remaining = dict(self._jobs)
+        waves: List[List[Job]] = []
+        while remaining:
+            wave = [job for job in remaining.values()
+                    if all(dep in done for dep in job.deps)]
+            if not wave:
+                cycle = ", ".join(sorted(remaining))
+                raise ValueError(f"dependency cycle among jobs: {cycle}")
+            waves.append(wave)
+            for job in wave:
+                done.add(job.job_id)
+                del remaining[job.job_id]
+        return waves
+
+
+def _pool_initializer(hashseed: str) -> None:
+    """Pin the worker's environment for deterministic grandchildren."""
+    os.environ["PYTHONHASHSEED"] = hashseed
+
+
+def _invoke(fn: Callable[..., Any], args: Tuple, kwargs: Dict[str, Any],
+            dep_results: Optional[Dict[str, Any]]) -> Any:
+    """Top-level worker entry point (must stay picklable)."""
+    if dep_results is not None:
+        return fn(dep_results, *args, **kwargs)
+    return fn(*args, **kwargs)
+
+
+class Scheduler:
+    """Executes a :class:`JobGraph`, serially or on a process pool.
+
+    ``jobs=1`` is the pure in-process reference path: no pool is created,
+    no argument is pickled, and execution order is exactly the graph's
+    topological insertion order.  ``jobs>1`` fans each wave out across a
+    ``multiprocessing`` pool (``fork`` start method where available, so
+    workers inherit the parent's interned state) and still merges results
+    in insertion order, so callers observe identical results at any
+    parallelism.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 hashseed: str = WORKER_HASHSEED) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self._hashseed = hashseed
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            self._pool = context.Pool(
+                processes=self.jobs,
+                initializer=_pool_initializer,
+                initargs=(self._hashseed,))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, graph: JobGraph) -> Dict[str, Any]:
+        """Execute ``graph``; returns ``{job_id: result}`` in insertion
+        order regardless of completion order or parallelism."""
+        waves = graph.waves()
+        results: Dict[str, Any] = {}
+        if self.jobs == 1:
+            for wave in waves:
+                for job in wave:
+                    results[job.job_id] = self._run_one(job, results)
+        else:
+            pool = self._ensure_pool()
+            for wave in waves:
+                pending = []
+                for job in wave:
+                    deps = ({dep: results[dep] for dep in job.deps}
+                            if job.deps else None)
+                    pending.append((job, pool.apply_async(
+                        _invoke, (job.fn, job.args, dict(job.kwargs), deps))))
+                for job, handle in pending:
+                    try:
+                        results[job.job_id] = handle.get()
+                    except Exception as exc:
+                        raise JobError(job.job_id, exc) from exc
+        return {job_id: results[job_id] for job_id in graph.job_ids()}
+
+    def _run_one(self, job: Job, results: Dict[str, Any]) -> Any:
+        deps = ({dep: results[dep] for dep in job.deps}
+                if job.deps else None)
+        try:
+            return _invoke(job.fn, job.args, dict(job.kwargs), deps)
+        except Exception as exc:
+            raise JobError(job.job_id, exc) from exc
+
+    def map(self, fn: Callable[..., Any],
+            payloads: Sequence[Tuple],
+            prefix: str = "map") -> List[Any]:
+        """Run ``fn(*payload)`` for every payload; results in input order.
+
+        The batch-probe primitive behind speculative bisection: each
+        payload becomes an independent job.
+        """
+        graph = JobGraph()
+        for index, payload in enumerate(payloads):
+            graph.add(f"{prefix}:{index:04d}", fn, *payload)
+        return list(self.run(graph).values())

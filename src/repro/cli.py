@@ -10,9 +10,10 @@ Examples::
     chameleon-repro profile tvla --scale 0.3 --top 5
     chameleon-repro optimize findbugs
     chameleon-repro online pmd --scale 0.3
-    chameleon-repro experiment fig6 --scale 0.4
-    chameleon-repro experiment all
+    chameleon-repro experiment fig6 --scale 0.4 --jobs 4
+    chameleon-repro experiment all --jobs 4 --session-cache /tmp/sessions.pkl
     chameleon-repro perf --scale 0.2 --repeats 3
+    chameleon-repro perf --suite --jobs 4
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -33,20 +34,26 @@ from repro.workloads import default_workload_registry
 __all__ = ["main", "build_parser"]
 
 _EXPERIMENTS = {
-    "fig2": lambda args: experiments.run_fig2(scale=args.scale).render(),
-    "fig3": lambda args: experiments.run_fig3(scale=args.scale).render(),
-    "fig6": lambda args: experiments.run_fig6(
-        scale=args.scale, resolution=args.resolution).render(),
-    "fig7": lambda args: experiments.run_fig7(
-        scale=args.scale, resolution=args.resolution).render(),
-    "fig8": lambda args: experiments.run_fig8(scale=args.scale).render(),
-    "online": lambda args: experiments.run_online(scale=args.scale).render(),
-    "hybrid": lambda args: experiments.run_hybrid_ablation(
+    "fig2": lambda args, sch: experiments.run_fig2(
         scale=args.scale).render(),
-    "overhead": lambda args: experiments.run_profiling_overhead(
+    "fig3": lambda args, sch: experiments.run_fig3(
         scale=args.scale).render(),
-    "all": lambda args: experiments.run_all(
-        scale=args.scale, resolution=args.resolution),
+    "fig6": lambda args, sch: experiments.run_fig6(
+        scale=args.scale, resolution=args.resolution,
+        scheduler=sch).render(),
+    "fig7": lambda args, sch: experiments.run_fig7(
+        scale=args.scale, resolution=args.resolution,
+        scheduler=sch).render(),
+    "fig8": lambda args, sch: experiments.run_fig8(
+        scale=args.scale).render(),
+    "online": lambda args, sch: experiments.run_online(
+        scale=args.scale).render(),
+    "hybrid": lambda args, sch: experiments.run_hybrid_ablation(
+        scale=args.scale).render(),
+    "overhead": lambda args, sch: experiments.run_profiling_overhead(
+        scale=args.scale).render(),
+    "all": lambda args, sch: experiments.run_all(
+        scale=args.scale, resolution=args.resolution, scheduler=sch),
 }
 
 
@@ -101,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.4)
     experiment.add_argument("--resolution", type=int, default=8192,
                             help="min-heap search resolution in bytes")
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the experiment "
+                                 "scheduler (1 = serial reference path)")
+    experiment.add_argument("--session-cache", metavar="PATH", default=None,
+                            help="spill the profiling-session cache here "
+                                 "and reload it on later invocations")
 
     perf = sub.add_parser(
         "perf", help="wall-clock perf harness; emits BENCH_chameleon.json")
@@ -118,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="validate an existing BENCH json and exit")
     perf.add_argument("--baseline", metavar="PATH", default=None,
                       help="compare against a previous BENCH json")
+    perf.add_argument("--suite", action="store_true",
+                      help="also benchmark the experiment scheduler "
+                           "(fig6+fig7 serial vs parallel)")
+    perf.add_argument("--jobs", type=int, default=4,
+                      help="worker processes for the --suite section")
+    perf.add_argument("--suite-scale", type=float, default=0.1,
+                      help="workload scale for the --suite section")
+    perf.add_argument("--suite-resolution", type=int, default=16384,
+                      help="min-heap resolution for the --suite section")
     return parser
 
 
@@ -187,11 +209,20 @@ def _cmd_histogram(args) -> str:
 
 
 def _cmd_experiment(args) -> str:
-    return _EXPERIMENTS[args.name](args)
+    from repro.analysis.scheduler import Scheduler
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.session_cache:
+        experiments.get_session_cache().load(args.session_cache)
+    with Scheduler(jobs=args.jobs) as scheduler:
+        output = _EXPERIMENTS[args.name](args, scheduler)
+    if args.session_cache:
+        experiments.get_session_cache().save(args.session_cache)
+    return output
 
 
 def _cmd_perf(args) -> str:
-    import math
     import pathlib
 
     from repro.analysis import perf
@@ -205,7 +236,10 @@ def _cmd_perf(args) -> str:
 
     doc = perf.run_suite(scale=args.scale, repeats=args.repeats,
                          seed=args.seed,
-                         include_gc_heavy=not args.no_gc_heavy)
+                         include_gc_heavy=not args.no_gc_heavy,
+                         suite_jobs=args.jobs if args.suite else None,
+                         suite_scale=args.suite_scale,
+                         suite_resolution=args.suite_resolution)
     output = args.output
     if output is None:
         output = pathlib.Path(__file__).resolve().parents[2] \
@@ -214,13 +248,21 @@ def _cmd_perf(args) -> str:
     perf.write_document(doc, str(output))
     parts = [perf.render_summary(doc), "", f"wrote {output}"]
     if args.baseline is not None:
-        ratios = perf.compare(perf.load_document(args.baseline), doc)
+        baseline_doc = perf.load_document(args.baseline)
+        diverged = perf.tick_divergences(baseline_doc, doc)
+        if diverged:
+            details = "; ".join(
+                f"benchmark {name!r}: ticks {old_ticks} (baseline) vs "
+                f"{new_ticks} (current)"
+                for name, old_ticks, new_ticks in diverged)
+            raise SystemExit(
+                f"cannot compare against {args.baseline}: the documents "
+                f"measured different simulated work -- {details}")
+        ratios = perf.compare(baseline_doc, doc)
         parts.append("")
         parts.append(f"vs baseline {args.baseline}:")
         for name, ratio in sorted(ratios.items()):
-            note = ("ticks diverged -- not comparable"
-                    if math.isnan(ratio) else f"{ratio:.2f}x wall clock")
-            parts.append(f"  {name:<20} {note}")
+            parts.append(f"  {name:<20} {ratio:.2f}x wall clock")
     return "\n".join(parts)
 
 

@@ -105,6 +105,20 @@ class ReplacementMap:
         return policy
 
     # ------------------------------------------------------------------
+    # Pickling (process-pool transfer)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Ship only the choices: the registry binding is per-VM state
+        and the lookup counter is per-run introspection, so a policy
+        sent to a scheduler worker arrives unbound and fresh."""
+        return {"choices": self._choices}
+
+    def __setstate__(self, state: dict) -> None:
+        self._choices = state["choices"]
+        self._registry = None
+        self.applied_lookups = 0
+
+    # ------------------------------------------------------------------
     # ReplacementPolicyProtocol
     # ------------------------------------------------------------------
     def bind(self, vm: RuntimeEnvironment) -> "ReplacementMap":

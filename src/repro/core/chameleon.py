@@ -15,6 +15,9 @@ comparison, which is what the Fig. 6 / Fig. 7 benchmarks drive.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -31,7 +34,8 @@ from repro.runtime.vm import ReplacementPolicyProtocol, RuntimeEnvironment
 from repro.workloads.base import Workload
 
 __all__ = ["RunMetrics", "ProfilingSession", "OptimizationResult",
-           "Chameleon", "IterativeResult", "optimize_iteratively"]
+           "SessionCache", "Chameleon", "IterativeResult",
+           "optimize_iteratively"]
 
 
 @dataclass(frozen=True)
@@ -59,9 +63,14 @@ class RunMetrics:
 
 @dataclass
 class ProfilingSession:
-    """Everything produced by one profiled run."""
+    """Everything produced by one profiled run.
 
-    vm: RuntimeEnvironment
+    ``vm`` is ``None`` when the session came out of a
+    :class:`SessionCache` -- the live runtime is deliberately not
+    cached; every other field is.
+    """
+
+    vm: Optional[RuntimeEnvironment]
     report: ProfileReport
     suggestions: List[Suggestion]
     metrics: RunMetrics
@@ -115,12 +124,92 @@ class OptimizationResult:
                 f"({self.speedup:.2f}x)")
 
 
+class SessionCache:
+    """Profiling-session cache keyed by what determines a profiled run.
+
+    Every figure of the evaluation starts by profiling a workload, and
+    Fig. 3, Fig. 6, Fig. 7 and the hybrid ablation all profile the *same*
+    workloads under the *same* configuration -- deterministic runs, so
+    re-profiling reproduces the identical session.  The cache key is
+    ``(workload class, seed, scale, manual_fixes, ToolConfig
+    fingerprint)``; runs under a policy or an explicit heap limit are
+    never cached (their outcome depends on objects that do not
+    fingerprint).
+
+    Cached sessions are stored with ``vm=None`` -- the live runtime is
+    the one piece of a session that is neither comparable nor picklable,
+    and no experiment consumer reads it.  Because storage is trimmed, the
+    cache can also spill to disk (:meth:`save` / :meth:`load`) for reuse
+    across CLI invocations.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(config: ToolConfig, workload: Workload) -> tuple:
+        """The cache key for profiling ``workload`` under ``config``."""
+        cls = type(workload)
+        return (f"{cls.__module__}.{cls.__qualname__}", workload.seed,
+                workload.scale, workload.manual_fixes, config.fingerprint())
+
+    def get(self, key: tuple) -> Optional["ProfilingSession"]:
+        """The cached session, counting the lookup as a hit or miss."""
+        session = self._entries.get(key)
+        if session is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return session
+
+    def put(self, key: tuple, session: "ProfilingSession") -> None:
+        """Store a trimmed (``vm=None``) copy of ``session``."""
+        self._entries[key] = dataclasses.replace(session, vm=None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Disk spill
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Pickle the entries to ``path``; returns the entry count."""
+        with open(path, "wb") as handle:
+            pickle.dump(self._entries, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        return len(self._entries)
+
+    def load(self, path: str) -> int:
+        """Merge entries spilled by :meth:`save`; returns how many were
+        added.  A missing file is not an error (first invocation)."""
+        if not os.path.exists(path):
+            return 0
+        with open(path, "rb") as handle:
+            entries = pickle.load(handle)
+        added = 0
+        for key, session in entries.items():
+            if key not in self._entries:
+                self._entries[key] = session
+                added += 1
+        return added
+
+
 class Chameleon:
     """Offline Chameleon: semantic profiling plus the rule engine."""
 
     def __init__(self, config: Optional[ToolConfig] = None,
-                 rules: Optional[List[RuleSpec]] = None) -> None:
+                 rules: Optional[List[RuleSpec]] = None,
+                 session_cache: Optional[SessionCache] = None) -> None:
         self.config = config or ToolConfig()
+        self.session_cache = session_cache
         self.engine = RuleEngine(
             rules=rules,
             constants=self.config.constants,
@@ -161,7 +250,19 @@ class Chameleon:
 
         ``policy`` profiles the *modified* program -- the paper's step 4,
         "repeat steps 1-3 on the modified version".
+
+        When a :class:`SessionCache` is installed, plain profiled runs
+        (no policy, no heap limit) are served from it; cache hits return
+        a session with ``vm=None``.  Workloads are deterministic, so the
+        cached session is identical to what re-profiling would produce.
         """
+        cache_key = None
+        if (self.session_cache is not None and policy is None
+                and heap_limit is None):
+            cache_key = SessionCache.key(self.config, workload)
+            cached = self.session_cache.get(cache_key)
+            if cached is not None:
+                return cached
         vm = self.make_vm(profiler=self._make_profiler(),
                           heap_limit=heap_limit)
         if policy is not None:
@@ -170,9 +271,12 @@ class Chameleon:
         vm.finish()
         report = build_report(vm.profiler, vm.timeline, vm.contexts)
         suggestions = self.engine.evaluate(report)
-        return ProfilingSession(vm=vm, report=report,
-                                suggestions=suggestions,
-                                metrics=RunMetrics.from_vm(vm))
+        session = ProfilingSession(vm=vm, report=report,
+                                   suggestions=suggestions,
+                                   metrics=RunMetrics.from_vm(vm))
+        if cache_key is not None:
+            self.session_cache.put(cache_key, session)
+        return session
 
     # ------------------------------------------------------------------
     # Phase 3: application and plain runs

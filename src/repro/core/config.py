@@ -10,6 +10,9 @@ sampling (section 4.2) and the online-mode decision point (section 3.3.2's
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -67,3 +70,16 @@ class ToolConfig:
             raise ValueError("sampling_rate must be >= 1")
         if self.online_decide_after < 1:
             raise ValueError("online_decide_after must be >= 1")
+
+    def fingerprint(self) -> str:
+        """A stable digest of every semantic field.
+
+        Two configs with equal fingerprints produce identical simulated
+        runs, which is what makes the fingerprint usable as a cache-key
+        component (profiling-session cache, per-worker tool memo).  The
+        digest is content-based -- unlike ``id()`` or ``hash()`` it is
+        stable across processes and interpreter invocations.
+        """
+        payload = dataclasses.asdict(self)
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

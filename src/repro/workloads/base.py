@@ -52,6 +52,19 @@ class Workload:
         """A fresh deterministic PRNG for one run."""
         return random.Random(self.seed)
 
+    def fresh(self) -> "Workload":
+        """An identically-configured new instance of this workload.
+
+        Repeated measurements (minimal-heap probes, the overhead
+        postures) run each probe on a fresh instance so no instance
+        state can bleed between runs -- and a scheduler worker
+        reconstructs exactly the same instance from the same spec, which
+        keeps parallel probes byte-identical to serial ones.  Subclasses
+        whose constructors take extra arguments must override this.
+        """
+        return type(self)(seed=self.seed, scale=self.scale,
+                          manual_fixes=self.manual_fixes)
+
     def scaled(self, base: int, minimum: int = 1) -> int:
         """``base`` scaled by the workload's scale factor."""
         return max(minimum, int(base * self.scale))

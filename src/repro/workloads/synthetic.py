@@ -79,6 +79,10 @@ class SyntheticWorkload(Workload):
         #: contents, for behavioural equivalence checks across policies.
         self.observed: dict = {}
 
+    def fresh(self) -> "SyntheticWorkload":
+        return type(self)(self.specs, seed=self.seed, scale=self.scale,
+                          manual_fixes=self.manual_fixes)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

@@ -80,6 +80,24 @@ class TestOverheadRunner:
         with pytest.raises(KeyError):
             result.overhead("tvla", "no-such-mode")
 
+    def test_fresh_instance_per_posture(self):
+        """Each posture must run a fresh workload instance: a workload
+        whose work grows with instance reuse would otherwise report a
+        phantom vm-only overhead."""
+        from repro.workloads.base import Workload
+
+        class StatefulWorkload(Workload):
+            name = "stateful"
+
+            def run(self, vm):
+                self._runs = getattr(self, "_runs", 0) + 1
+                for _ in range(self.scaled(40) * self._runs):
+                    vm.allocate_data("Item", int_fields=2)
+
+        result = experiments.run_profiling_overhead(
+            scale=0.2, benchmarks=(StatefulWorkload,))
+        assert result.overhead("stateful", "vm-only overhead") == 0.0
+
 
 class TestOnlineRunner:
     def test_two_rows_per_benchmark(self):

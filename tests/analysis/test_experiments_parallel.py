@@ -1,0 +1,63 @@
+"""Determinism contract: the experiment suite is byte-identical at any
+scheduler parallelism (ISSUE 2 acceptance criterion)."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.scheduler import Scheduler
+
+SCALE = 0.05
+RESOLUTION = 32768
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    experiments.reset_session_cache()
+    yield
+    experiments.reset_session_cache()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with Scheduler(jobs=4) as scheduler:
+        yield scheduler
+
+
+class TestFig6Parallel:
+    def test_rows_and_details_identical(self, pool):
+        serial = experiments.run_fig6(scale=SCALE, resolution=RESOLUTION)
+        experiments.reset_session_cache()
+        parallel = experiments.run_fig6(scale=SCALE, resolution=RESOLUTION,
+                                        scheduler=pool)
+        assert parallel.rows == serial.rows
+        assert parallel.details == serial.details
+        assert parallel.render() == serial.render()
+
+
+class TestFig7Parallel:
+    def test_ticks_and_gc_counts_identical(self, pool):
+        serial = experiments.run_fig7(scale=SCALE, resolution=RESOLUTION)
+        experiments.reset_session_cache()
+        parallel = experiments.run_fig7(scale=SCALE, resolution=RESOLUTION,
+                                        scheduler=pool)
+        assert parallel.rows == serial.rows
+        assert parallel.gc_cycles == serial.gc_cycles
+        assert parallel.render() == serial.render()
+
+
+class TestSessionCacheInteraction:
+    def test_fig7_after_fig6_reuses_profiles(self):
+        """In one process, Fig. 7 re-profiles nothing Fig. 6 already
+        profiled."""
+        experiments.run_fig6(scale=SCALE, resolution=RESOLUTION)
+        cache = experiments.get_session_cache()
+        misses_after_fig6 = cache.misses
+        experiments.run_fig7(scale=SCALE, resolution=RESOLUTION)
+        assert cache.misses == misses_after_fig6
+        assert cache.hits >= len(experiments.BENCHMARKS)
+
+    def test_cached_rerun_is_identical(self):
+        first = experiments.run_fig6(scale=SCALE, resolution=RESOLUTION)
+        second = experiments.run_fig6(scale=SCALE, resolution=RESOLUTION)
+        assert experiments.get_session_cache().hits > 0
+        assert second.render() == first.render()

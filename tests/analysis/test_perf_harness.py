@@ -108,6 +108,102 @@ class TestValidateDocument:
         self._assert_invalid(broken, "missing field 'gc_cycles'")
 
 
+class TestSuiteSection:
+    """The schema-v2 ``suite`` section: serial-vs-parallel trajectory."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return perf.run_suite_section(scale=0.05, resolution=32768, jobs=2)
+
+    def test_measures_both_paths(self, suite):
+        assert suite["serial_seconds"] > 0
+        assert suite["parallel_seconds"] > 0
+        assert suite["speedup"] > 0
+        assert suite["jobs"] == 2
+
+    def test_results_are_identical(self, suite):
+        """The determinism contract, asserted on every perf run."""
+        assert suite["identical"] is True
+
+    def test_serial_pass_exercises_the_session_cache(self, suite):
+        # Fig. 7 re-profiles nothing Fig. 6 already profiled.
+        assert suite["cache_hits"] >= 6
+        assert suite["cache_misses"] >= 6
+
+    def test_valid_inside_a_document(self, doc, suite):
+        extended = copy.deepcopy(doc)
+        extended["suite"] = suite
+        perf.validate_document(extended)  # must not raise
+        assert "suite (fig6+fig7" in perf.render_summary(extended)
+
+
+class TestSuiteSectionValidation:
+    def _doc_with_suite(self, doc, **overrides):
+        extended = copy.deepcopy(doc)
+        extended["suite"] = {
+            "scale": 0.05, "resolution": 32768, "jobs": 2,
+            "serial_seconds": 1.0, "parallel_seconds": 0.5,
+            "speedup": 2.0, "cache_hits": 6, "cache_misses": 6,
+            "identical": True,
+        }
+        extended["suite"].update(overrides)
+        return extended
+
+    def test_well_formed_suite_is_valid(self, doc):
+        perf.validate_document(self._doc_with_suite(doc))
+
+    def test_v1_document_without_suite_stays_valid(self, doc):
+        """Backward compat: pre-suite (v1) documents still validate."""
+        v1 = copy.deepcopy(doc)
+        v1.pop("suite", None)
+        v1["schema_version"] = 1
+        perf.validate_document(v1)
+
+    def test_rejects_non_object_suite(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["suite"] = [1, 2]
+        with pytest.raises(ValueError, match="suite section is not"):
+            perf.validate_document(broken)
+
+    def test_rejects_missing_suite_field(self, doc):
+        broken = self._doc_with_suite(doc)
+        del broken["suite"]["speedup"]
+        with pytest.raises(ValueError, match="suite: missing field"):
+            perf.validate_document(broken)
+
+    def test_rejects_wrong_suite_field_type(self, doc):
+        broken = self._doc_with_suite(doc, jobs="two")
+        with pytest.raises(ValueError, match="suite: field 'jobs'"):
+            perf.validate_document(broken)
+
+    def test_rejects_bool_suite_counter(self, doc):
+        broken = self._doc_with_suite(doc, cache_hits=True)
+        with pytest.raises(ValueError, match="suite: field 'cache_hits'"):
+            perf.validate_document(broken)
+
+
+class TestTickDivergences:
+    def _record(self, name, ticks):
+        return {"name": name, "ticks": ticks}
+
+    def test_empty_when_ticks_match(self):
+        old = {"benchmarks": [self._record("a", 100)]}
+        new = {"benchmarks": [self._record("a", 100)]}
+        assert perf.tick_divergences(old, new) == []
+
+    def test_reports_name_and_both_values(self):
+        old = {"benchmarks": [self._record("a", 100),
+                              self._record("b", 7)]}
+        new = {"benchmarks": [self._record("a", 101),
+                              self._record("b", 7)]}
+        assert perf.tick_divergences(old, new) == [("a", 100, 101)]
+
+    def test_unmatched_benchmarks_are_not_divergences(self):
+        old = {"benchmarks": [self._record("a", 100)]}
+        new = {"benchmarks": [self._record("b", 100)]}
+        assert perf.tick_divergences(old, new) == []
+
+
 class TestCompare:
     def _record(self, name, wall, ticks):
         return {"name": name, "workload": "tvla", "capture": False,
@@ -185,3 +281,37 @@ class TestCli:
                      "--baseline", str(baseline)]) == 0
         out = capsys.readouterr().out
         assert "vs baseline" in out
+
+    def test_perf_baseline_refuses_diverged_ticks(self, doc, tmp_path):
+        """A tick mismatch makes the wall-clock comparison meaningless:
+        the CLI must refuse, naming the benchmark and both tick values,
+        and exit non-zero."""
+        doctored = copy.deepcopy(doc)
+        original_ticks = doctored["benchmarks"][0]["ticks"]
+        doctored["benchmarks"][0]["ticks"] = original_ticks + 1
+        baseline = tmp_path / "baseline.json"
+        perf.write_document(doctored, str(baseline))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["perf", "--scale", "0.05", "--repeats", "1",
+                  "--no-gc-heavy",
+                  "--output", str(tmp_path / "new.json"),
+                  "--baseline", str(baseline)])
+        message = str(excinfo.value)
+        assert excinfo.value.code != 0
+        assert doctored["benchmarks"][0]["name"] in message
+        assert str(original_ticks + 1) in message   # baseline's ticks
+        assert str(original_ticks) in message       # current run's ticks
+        assert "cannot compare" in message
+
+    def test_perf_suite_flag_records_the_section(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_chameleon.json"
+        assert main(["perf", "--scale", "0.05", "--repeats", "1",
+                     "--no-gc-heavy", "--output", str(path),
+                     "--suite", "--jobs", "2", "--suite-scale", "0.05",
+                     "--suite-resolution", "32768"]) == 0
+        out = capsys.readouterr().out
+        assert "suite (fig6+fig7" in out
+        written = json.loads(path.read_text())
+        assert written["schema_version"] == perf.SCHEMA_VERSION
+        assert written["suite"]["jobs"] == 2
+        assert written["suite"]["identical"] is True

@@ -1,0 +1,120 @@
+"""Process-pool experiment scheduler: graph semantics and determinism."""
+
+import pytest
+
+from repro.analysis.scheduler import Job, JobError, JobGraph, Scheduler
+
+# Job functions must be module-level so pool workers can unpickle them.
+
+
+def add(a, b):
+    return a + b
+
+
+def square(x):
+    return x * x
+
+
+def combine(deps, suffix):
+    return "+".join(f"{key}={value}" for key, value in deps.items()) \
+        + f":{suffix}"
+
+
+def boom():
+    raise RuntimeError("kaboom")
+
+
+def make_graph():
+    graph = JobGraph()
+    graph.add("a", add, 1, 2)
+    graph.add("b", square, 4)
+    graph.add("c", combine, "done", deps=("a", "b"))
+    return graph
+
+
+class TestJobGraph:
+    def test_insertion_order_is_merge_order(self):
+        graph = make_graph()
+        assert graph.job_ids() == ["a", "b", "c"]
+
+    def test_duplicate_id_rejected(self):
+        graph = JobGraph()
+        graph.add("a", add, 1, 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add("a", add, 3, 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add_job(Job("a", add, (5, 6)))
+
+    def test_unknown_dependency_rejected(self):
+        graph = JobGraph()
+        graph.add("a", add, 1, 2, deps=("ghost",))
+        with pytest.raises(ValueError, match="unknown job 'ghost'"):
+            graph.waves()
+
+    def test_cycle_rejected(self):
+        graph = JobGraph()
+        graph.add("a", add, 1, 2, deps=("b",))
+        graph.add("b", square, 3, deps=("a",))
+        with pytest.raises(ValueError, match="cycle"):
+            graph.waves()
+
+    def test_waves_respect_dependencies(self):
+        graph = make_graph()
+        waves = [[job.job_id for job in wave] for wave in graph.waves()]
+        assert waves == [["a", "b"], ["c"]]
+
+
+class TestSerialScheduler:
+    def test_runs_in_order_with_dep_results(self):
+        results = Scheduler(jobs=1).run(make_graph())
+        assert results == {"a": 3, "b": 16, "c": "a=3+b=16:done"}
+        assert list(results) == ["a", "b", "c"]
+
+    def test_job_error_names_the_job(self):
+        graph = JobGraph()
+        graph.add("explodes", boom)
+        with pytest.raises(JobError, match="explodes.*kaboom"):
+            Scheduler(jobs=1).run(graph)
+
+    def test_map_preserves_input_order(self):
+        results = Scheduler(jobs=1).map(square, [(3,), (1,), (2,)])
+        assert results == [9, 1, 4]
+
+    def test_invalid_job_count(self):
+        with pytest.raises(ValueError):
+            Scheduler(jobs=0)
+
+
+class TestPoolScheduler:
+    def test_results_identical_to_serial(self):
+        serial = Scheduler(jobs=1).run(make_graph())
+        with Scheduler(jobs=2) as scheduler:
+            parallel = scheduler.run(make_graph())
+        assert parallel == serial
+        assert list(parallel) == list(serial)
+
+    def test_map_identical_to_serial(self):
+        payloads = [(n,) for n in range(20)]
+        serial = Scheduler(jobs=1).map(square, payloads)
+        with Scheduler(jobs=3) as scheduler:
+            assert scheduler.map(square, payloads) == serial
+
+    def test_job_error_propagates_with_job_id(self):
+        graph = JobGraph()
+        graph.add("fine", add, 1, 1)
+        graph.add("explodes", boom)
+        with Scheduler(jobs=2) as scheduler:
+            with pytest.raises(JobError, match="explodes"):
+                scheduler.run(graph)
+
+    def test_pool_survives_multiple_runs(self):
+        with Scheduler(jobs=2) as scheduler:
+            first = scheduler.run(make_graph())
+            second = scheduler.run(make_graph())
+        assert first == second
+
+    def test_close_is_idempotent(self):
+        scheduler = Scheduler(jobs=2)
+        scheduler.map(square, [(1,)])
+        scheduler.close()
+        scheduler.close()

@@ -25,6 +25,11 @@ class TestParser:
         assert args.scale == 0.4
         assert args.top == 5
 
+    def test_experiment_scheduler_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig6"])
+        assert args.jobs == 1          # serial reference path by default
+        assert args.session_cache is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -69,3 +74,33 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["profile", "quake"])
         assert "available" in str(excinfo.value)
+
+    def test_experiment_with_jobs(self, capsys):
+        code, out = run_cli(capsys, "experiment", "fig7",
+                            "--scale", "0.05", "--resolution", "32768",
+                            "--jobs", "2")
+        assert code == 0
+        assert "original minimal heap" in out
+
+    def test_experiment_rejects_zero_jobs(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["experiment", "fig3", "--scale", "0.1", "--jobs", "0"])
+
+    def test_experiment_session_cache_roundtrip(self, capsys, tmp_path):
+        from repro.analysis import experiments
+
+        cache_path = str(tmp_path / "sessions.pkl")
+        experiments.reset_session_cache()
+        _, first = run_cli(capsys, "experiment", "fig7",
+                           "--scale", "0.05", "--resolution", "32768",
+                           "--session-cache", cache_path)
+        assert (tmp_path / "sessions.pkl").exists()
+        # A later invocation (fresh in-memory cache) reloads the spilled
+        # sessions and reproduces the identical artifact.
+        experiments.reset_session_cache()
+        _, second = run_cli(capsys, "experiment", "fig7",
+                            "--scale", "0.05", "--resolution", "32768",
+                            "--session-cache", cache_path)
+        assert second == first
+        assert experiments.get_session_cache().hits > 0
+        experiments.reset_session_cache()

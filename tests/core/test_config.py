@@ -33,6 +33,49 @@ class TestValidation:
             ToolConfig(online_decide_after=0)
 
 
+class TestFingerprint:
+    """The fingerprint is the session-cache key component: stable for
+    equal configs, different whenever any field changes."""
+
+    # One changed value per ToolConfig field, each differing from the
+    # default, so the loop below proves every field is covered by the
+    # digest.
+    CHANGED = {
+        "constants": {"SMALL_SIZE": 3.0},
+        "stability": StabilityPolicy.permissive(),
+        "min_potential_bytes": 2048,
+        "context_depth": 5,
+        "sampling_rate": 17,
+        "sampling_warmup": 99,
+        "memory_model": MemoryModel.for_64bit(),
+        "cost_model": CostModel().with_overrides(hash_compute=99),
+        "gc_threshold_bytes": 4096,
+        "online_decide_after": 31,
+        "online_retrofit_live": True,
+        "top_contexts_to_apply": 5,
+    }
+
+    def test_equal_configs_equal_fingerprints(self):
+        assert ToolConfig().fingerprint() == ToolConfig().fingerprint()
+        assert ToolConfig(context_depth=3).fingerprint() \
+            == ToolConfig(context_depth=3).fingerprint()
+
+    def test_fingerprint_is_stable_across_instances(self):
+        config = ToolConfig()
+        assert config.fingerprint() == config.fingerprint()
+
+    def test_every_field_alters_the_fingerprint(self):
+        import dataclasses
+
+        base = ToolConfig().fingerprint()
+        field_names = {f.name for f in dataclasses.fields(ToolConfig)}
+        assert field_names == set(self.CHANGED), \
+            "CHANGED must cover every ToolConfig field"
+        for name, value in self.CHANGED.items():
+            changed = ToolConfig(**{name: value}).fingerprint()
+            assert changed != base, f"field {name!r} not in fingerprint"
+
+
 class TestPlumbing:
     def test_config_reaches_the_vm(self):
         from repro.core.chameleon import Chameleon

@@ -1,0 +1,101 @@
+"""Profiling-session cache: keys, hit behavior, and disk spill."""
+
+import pytest
+
+from repro.core.chameleon import Chameleon, SessionCache
+from repro.core.config import ToolConfig
+from repro.workloads import TvlaWorkload
+
+
+@pytest.fixture
+def cache():
+    return SessionCache()
+
+
+@pytest.fixture
+def tool(cache):
+    return Chameleon(ToolConfig(), session_cache=cache)
+
+
+class TestKey:
+    def test_same_spec_same_key(self):
+        config = ToolConfig()
+        assert SessionCache.key(config, TvlaWorkload(scale=0.1)) \
+            == SessionCache.key(config, TvlaWorkload(scale=0.1))
+
+    def test_key_covers_workload_spec(self):
+        config = ToolConfig()
+        base = SessionCache.key(config, TvlaWorkload(scale=0.1))
+        assert SessionCache.key(config, TvlaWorkload(scale=0.2)) != base
+        assert SessionCache.key(config, TvlaWorkload(scale=0.1,
+                                                     seed=7)) != base
+        assert SessionCache.key(
+            config, TvlaWorkload(scale=0.1, manual_fixes=True)) != base
+
+    def test_key_covers_config_fingerprint(self):
+        workload = TvlaWorkload(scale=0.1)
+        assert SessionCache.key(ToolConfig(), workload) \
+            != SessionCache.key(ToolConfig(gc_threshold_bytes=1024),
+                                workload)
+
+
+class TestProfileHook:
+    def test_second_profile_hits(self, tool, cache):
+        first = tool.profile(TvlaWorkload(scale=0.05))
+        second = tool.profile(TvlaWorkload(scale=0.05))
+        assert cache.misses == 1
+        assert cache.hits == 1
+        # The cached session is the same measurement, minus the live VM.
+        assert second.vm is None
+        assert second.metrics == first.metrics
+        assert second.report.render_top_contexts(3) \
+            == first.report.render_top_contexts(3)
+
+    def test_policy_runs_bypass_the_cache(self, tool, cache):
+        session = tool.profile(TvlaWorkload(scale=0.05))
+        policy = tool.build_policy(session.suggestions)
+        repeat = tool.profile(TvlaWorkload(scale=0.05), policy=policy)
+        assert repeat.vm is not None
+        assert cache.hits == 0
+        assert len(cache) == 1
+
+    def test_heap_limited_runs_bypass_the_cache(self, tool, cache):
+        tool.profile(TvlaWorkload(scale=0.05), heap_limit=1 << 30)
+        assert len(cache) == 0
+
+    def test_no_cache_installed_keeps_vm(self):
+        session = Chameleon(ToolConfig()).profile(TvlaWorkload(scale=0.05))
+        assert session.vm is not None
+
+    def test_clear_resets_counters(self, tool, cache):
+        tool.profile(TvlaWorkload(scale=0.05))
+        tool.profile(TvlaWorkload(scale=0.05))
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+
+
+class TestDiskSpill:
+    def test_save_load_roundtrip(self, tool, cache, tmp_path):
+        fresh_session = tool.profile(TvlaWorkload(scale=0.05))
+        path = tmp_path / "sessions.pkl"
+        assert cache.save(str(path)) == 1
+
+        other_cache = SessionCache()
+        assert other_cache.load(str(path)) == 1
+        other_tool = Chameleon(ToolConfig(), session_cache=other_cache)
+        reloaded = other_tool.profile(TvlaWorkload(scale=0.05))
+        assert other_cache.hits == 1
+        assert reloaded.metrics == fresh_session.metrics
+        assert len(reloaded.suggestions) == len(fresh_session.suggestions)
+
+    def test_load_missing_file_is_a_noop(self, cache, tmp_path):
+        assert cache.load(str(tmp_path / "absent.pkl")) == 0
+        assert len(cache) == 0
+
+    def test_load_does_not_clobber_existing_entries(self, tool, cache,
+                                                    tmp_path):
+        tool.profile(TvlaWorkload(scale=0.05))
+        path = tmp_path / "sessions.pkl"
+        cache.save(str(path))
+        assert cache.load(str(path)) == 0
+        assert len(cache) == 1
