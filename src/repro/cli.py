@@ -14,6 +14,8 @@ Examples::
     chameleon-repro experiment all --jobs 4 --session-cache /tmp/sessions.pkl
     chameleon-repro perf --scale 0.2 --repeats 3
     chameleon-repro perf --suite --jobs 4
+    chameleon-repro fuzz --adt all --seeds 50
+    chameleon-repro fuzz --record tvla --scale 0.05
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -140,6 +142,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="workload scale for the --suite section")
     perf.add_argument("--suite-resolution", type=int, default=16384,
                       help="min-heap resolution for the --suite section")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential trace fuzzer: replay generated or "
+                     "recorded traces against every implementation")
+    fuzz.add_argument("--adt", choices=["list", "map", "set", "all"],
+                      default="all", help="which ADT kind(s) to fuzz")
+    fuzz.add_argument("--seeds", type=int, default=50,
+                      help="trace seeds per ADT (default 50)")
+    fuzz.add_argument("--budget", type=float, default=None, metavar="S",
+                      help="wall-clock budget in seconds; stop cleanly "
+                           "when exceeded")
+    fuzz.add_argument("--ops", type=int, default=40,
+                      help="operations per generated trace")
+    fuzz.add_argument("--record", metavar="WORKLOAD", default=None,
+                      help="instead of generating traces, record them "
+                           "from this workload and diff the recording")
+    fuzz.add_argument("--scale", type=float, default=0.05,
+                      help="workload scale for --record")
+    fuzz.add_argument("--seed", type=int, default=2009,
+                      help="workload seed for --record")
+    fuzz.add_argument("--save-corpus", metavar="DIR", default=None,
+                      help="with --record, save the captured traces here")
+    fuzz.add_argument("--out", metavar="DIR", default="fuzz-failures",
+                      help="where shrunk repro scripts are written")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures without minimising them")
+    fuzz.add_argument("--no-sanitize", action="store_true",
+                      help="skip the heap sanitizer during replays")
     return parser
 
 
@@ -266,6 +296,41 @@ def _cmd_perf(args) -> str:
     return "\n".join(parts)
 
 
+def _cmd_fuzz(args) -> str:
+    from repro.verify import diff_trace, record_workload, run_fuzz
+
+    sanitize = not args.no_sanitize
+    if args.record is not None:
+        traces = record_workload(args.record, scale=args.scale,
+                                 seed=args.seed, out_dir=args.save_corpus)
+        lines = [f"recorded {len(traces)} trace(s) from "
+                 f"{args.record!r} at scale {args.scale}"]
+        failed = False
+        for trace in traces:
+            report = diff_trace(trace, sanitize=sanitize)
+            if not report.ok:
+                failed = True
+                lines.append(report.summary())
+        lines.append("recorded-trace diff: "
+                     + ("FAILED" if failed else "ok"))
+        if args.save_corpus:
+            lines.append(f"corpus saved under {args.save_corpus}")
+        if failed:
+            print("\n".join(lines))
+            raise SystemExit(1)
+        return "\n".join(lines)
+
+    adts = ["list", "set", "map"] if args.adt == "all" else [args.adt]
+    result = run_fuzz(adts, seeds=args.seeds, budget_s=args.budget,
+                      n_ops=args.ops, out_dir=args.out,
+                      shrink=not args.no_shrink, sanitize=sanitize,
+                      log=lambda line: print(f"fuzz: {line}"))
+    if not result.ok:
+        print(result.summary())
+        raise SystemExit(1)
+    return result.summary()
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "profile": _cmd_profile,
@@ -274,6 +339,7 @@ _COMMANDS = {
     "histogram": _cmd_histogram,
     "experiment": _cmd_experiment,
     "perf": _cmd_perf,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -171,7 +171,26 @@ class CollectionImpl:
                                          int_fields=int_fields)
         self.anchor = self.vm.allocate(self.IMPL_NAME, size, payload=self,
                                        context_id=self.context_id)
+        # Construction root: until an owner (wrapper, enclosing hybrid)
+        # links the anchor into the object graph, the only reference to it
+        # is the constructing code's stack -- which the simulated heap
+        # cannot see.  Pin it so a GC triggered by one of the ADT's own
+        # internal allocations (backing array, bucket table) cannot sweep
+        # the half-built collection; :meth:`adopt` releases the pin.
+        self.vm.add_root(self.anchor)
+        self._construction_rooted = True
         return self.anchor
+
+    def adopt(self) -> int:
+        """Release the construction root; returns the anchor id.
+
+        Called by the new owner immediately *after* it has added its own
+        reference to the anchor, so the ADT is continuously reachable.
+        """
+        if getattr(self, "_construction_rooted", False):
+            self.vm.remove_root(self.anchor)
+            self._construction_rooted = False
+        return self.anchor.obj_id
 
     @property
     def anchor_id(self) -> int:

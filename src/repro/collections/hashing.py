@@ -168,10 +168,15 @@ class HashTableEngine:
             return old
         heap_entry = vm.allocate(self.entry_type_name, self.entry_size,
                                  context_id=self.owner.context_id)
+        # The entry is unreachable until linked into the table, and
+        # ref_for() may allocate boxes (and hence trigger a GC); keep it
+        # pinned across that window.
+        vm.add_root(heap_entry)
         heap_entry.add_ref(self.owner.boxes.ref_for(key))
         if self.is_map:
             heap_entry.add_ref(self.owner.boxes.ref_for(value))
         self._table_obj.add_ref(heap_entry.obj_id)
+        vm.remove_root(heap_entry)
         new_entry = HashEntry(key, value, hash_code, heap_entry)
         self._buckets[hash_code & (len(self._buckets) - 1)].append(new_entry)
         self._order.append(new_entry)
@@ -239,9 +244,14 @@ class HashTableEngine:
                 self.owner.charge(costs.link_traverse_per_node)
                 yield entry
         else:
-            for bucket in self._buckets:
+            # Snapshot the bucket table at iteration start so a rehash
+            # mid-iteration cannot reorder or repeat entries (uniform
+            # mutation-during-iteration semantics across impls).  Charges
+            # are unchanged: one array access per bucket slot, one link
+            # traversal per entry.
+            for bucket in [list(b) for b in self._buckets]:
                 self.owner.charge(costs.array_access)
-                for entry in list(bucket):
+                for entry in bucket:
                     self.owner.charge(costs.link_traverse_per_node)
                     yield entry
 

@@ -154,7 +154,9 @@ class ArrayListImpl(ListImpl):
         self._items.clear()
 
     def iter_values(self) -> Iterator[Any]:
-        for item in self._items:
+        # Snapshot at iteration start: all impls pin snapshot semantics
+        # for mutation-during-iteration (tests/collections/test_iterators).
+        for item in list(self._items):
             self.charge(self.vm.costs.array_access)
             yield item
 
@@ -299,7 +301,9 @@ class LinkedListImpl(ListImpl):
         self._entries.clear()
 
     def iter_values(self) -> Iterator[Any]:
-        for item in self._items:
+        # Snapshot at iteration start (uniform mutation-during-iteration
+        # semantics across impls).
+        for item in list(self._items):
             self.charge(self.vm.costs.link_traverse_per_node)
             yield item
 
@@ -355,6 +359,13 @@ class SingletonListImpl(ListImpl):
         self.charge(self.vm.costs.array_access)
 
     def add_at(self, index: int, value: Any) -> None:
+        # Fullness wins over the index check: a filled singleton refuses
+        # *any* insertion (UnsupportedOperation), while an empty one only
+        # accepts index 0 -- the same IndexError an empty ArrayList gives
+        # for any other index.
+        if self._filled:
+            raise UnsupportedOperation(
+                "SingletonList already holds its element")
         if index != 0:
             raise IndexError(f"index {index} out of range for singleton")
         self.add(value)
@@ -538,7 +549,9 @@ class IntArrayImpl(ListImpl):
         found = -1
         for i, item in enumerate(self._items):
             scanned += 1
-            if item == value:
+            # values_equal, not ==: 1 must not match True/1.0 (Java-like
+            # element equality, consistent with every boxed impl).
+            if values_equal(item, value):
                 found = i
                 break
         self.charge(self.vm.costs.array_scan_per_element * max(scanned, 1))
@@ -549,7 +562,8 @@ class IntArrayImpl(ListImpl):
         self._items.clear()
 
     def iter_values(self) -> Iterator[int]:
-        for item in self._items:
+        # Snapshot at iteration start (uniform across impls).
+        for item in list(self._items):
             self.charge(self.vm.costs.array_access)
             yield item
 

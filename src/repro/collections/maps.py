@@ -263,6 +263,7 @@ class SizeAdaptingMapImpl(MapImpl):
         self._allocate_anchor(ref_fields=1, int_fields=1)
         self._inner: MapImpl = ArrayMapImpl(vm, initial_capacity, context_id)
         self.anchor.add_ref(self._inner.anchor_id)
+        self._inner.adopt()
         self.conversions = 0
 
     def _maybe_convert(self) -> None:
@@ -277,6 +278,7 @@ class SizeAdaptingMapImpl(MapImpl):
             self._inner.clear()
             self.anchor.remove_ref(self._inner.anchor_id)
             self.anchor.add_ref(hashed.anchor_id)
+            hashed.adopt()
             self._inner = hashed
             self.conversions += 1
 

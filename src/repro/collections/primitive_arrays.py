@@ -14,7 +14,7 @@ from __future__ import annotations
 import numbers
 from typing import Any, Callable, Iterator, List, Optional, Type
 
-from repro.collections.base import ListImpl
+from repro.collections.base import ListImpl, values_equal
 from repro.collections.lists import grow_capacity
 from repro.memory.heap import HeapObject
 from repro.memory.semantic_maps import FootprintTriple
@@ -118,7 +118,7 @@ class PrimitiveArrayImpl(ListImpl):
         found = -1
         for i, item in enumerate(self._items):
             scanned += 1
-            if item == value:
+            if values_equal(item, value):
                 found = i
                 break
         self.charge(self.vm.costs.array_scan_per_element * max(scanned, 1))
@@ -129,7 +129,8 @@ class PrimitiveArrayImpl(ListImpl):
         self._items.clear()
 
     def iter_values(self) -> Iterator[Any]:
-        for item in self._items:
+        # Snapshot at iteration start (uniform across impls).
+        for item in list(self._items):
             self.charge(self.vm.costs.array_access)
             yield item
 

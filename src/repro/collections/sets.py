@@ -178,7 +178,8 @@ class ArraySetImpl(SetImpl):
         self._items.clear()
 
     def iter_values(self) -> Iterator[Any]:
-        for item in self._items:
+        # Snapshot at iteration start (uniform across impls).
+        for item in list(self._items):
             self.charge(self.vm.costs.array_access)
             yield item
 
@@ -235,6 +236,7 @@ class SizeAdaptingSetImpl(SetImpl):
         self._allocate_anchor(ref_fields=1, int_fields=1)
         self._inner: SetImpl = ArraySetImpl(vm, initial_capacity, context_id)
         self.anchor.add_ref(self._inner.anchor_id)
+        self._inner.adopt()
         self.conversions = 0
 
     def _maybe_convert(self) -> None:
@@ -249,6 +251,7 @@ class SizeAdaptingSetImpl(SetImpl):
             self._inner.clear()
             self.anchor.remove_ref(self._inner.anchor_id)
             self.anchor.add_ref(hashed.anchor_id)
+            hashed.adopt()
             self._inner = hashed
             self.conversions += 1
 

@@ -102,9 +102,17 @@ class ChameleonCollection:
             self.src_type, wrapper_size, payload=self,
             context_id=self.context_id, on_death=on_death)
         self.heap_obj.add_ref(self.impl.anchor_id)
+        self.impl.adopt()
 
         if copy_from is not None:
             self._fill_from(copy_from)
+
+        # Observation hook (repro.verify trace recording).  Last, so the
+        # tracer sees a fully constructed wrapper; the tracer must stay a
+        # pure observer (no charges, no simulated allocation).
+        tracer = vm.tracer
+        if tracer is not None:
+            tracer.on_collection_created(self)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -150,6 +158,24 @@ class ChameleonCollection:
         if self._oci is not None:
             self._oci.record_size(self.impl.size)
 
+    def _pin_args(self, values: Iterable[Any]) -> List[HeapObject]:
+        """Model Java stack roots for heap-object arguments.
+
+        The caller holds its argument in a local for the duration of the
+        call, keeping it reachable even while the ADT allocates (array
+        growth, entry objects) *before* linking the element in.  The
+        simulated heap cannot see Python locals, so the wrapper roots
+        heap-object arguments for the span of the delegated operation.
+        """
+        pinned = [v for v in values if isinstance(v, HeapObject)]
+        for value in pinned:
+            self.vm.add_root(value)
+        return pinned
+
+    def _unpin_args(self, pinned: List[HeapObject]) -> None:
+        for value in pinned:
+            self.vm.remove_root(value)
+
     def record_copied(self) -> None:
         """This collection was the source of an addAll/putAll/copy-ctor."""
         if self._oci is not None:
@@ -192,6 +218,7 @@ class ChameleonCollection:
         self._migrate(old_impl, new_impl)
         self.heap_obj.remove_ref(old_impl.anchor_id)
         self.heap_obj.add_ref(new_impl.anchor_id)
+        new_impl.adopt()
         if self._oci is not None:
             self._oci.record_swap()
             self._oci.impl_name = impl_name
@@ -278,13 +305,21 @@ class ChameleonList(ChameleonCollection):
     def add(self, value: Any) -> None:
         """Append ``value`` (``add(Object)``)."""
         self._record(Op.ADD)
-        self.impl.add(value)
+        pinned = self._pin_args((value,))
+        try:
+            self.impl.add(value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
 
     def add_at(self, index: int, value: Any) -> None:
         """Insert at position (``add(int, Object)``)."""
         self._record(Op.ADD_INDEX)
-        self.impl.add_at(index, value)
+        pinned = self._pin_args((value,))
+        try:
+            self.impl.add_at(index, value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
 
     def add_all(self, source: Union["ChameleonCollection", Iterable[Any]],
@@ -295,8 +330,12 @@ class ChameleonList(ChameleonCollection):
         source -- both sides of the interaction, per section 3.2.2.
         """
         self._record(Op.ADD_ALL)
-        for value in self._source_values(source):
-            self.impl.add(value)
+        values, pinned = self._source_values(source)
+        try:
+            for value in values:
+                self.impl.add(value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
 
     def add_all_at(self, index: int,
@@ -304,15 +343,25 @@ class ChameleonList(ChameleonCollection):
                    ) -> None:
         """Insert every element of ``source`` at ``index``."""
         self._record(Op.ADD_ALL_INDEX)
-        for offset, value in enumerate(self._source_values(source)):
-            self.impl.add_at(index + offset, value)
+        values, pinned = self._source_values(source)
+        try:
+            for offset, value in enumerate(values):
+                self.impl.add_at(index + offset, value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
 
-    def _source_values(self, source) -> Iterator[Any]:
+    def _source_values(self, source):
+        """``(values, pinned)`` for a bulk insert.
+
+        Elements of a wrapped source stay reachable through the source
+        itself; plain Python iterables get stack-root treatment.
+        """
         if isinstance(source, ChameleonCollection):
             source.record_copied()
-            return source.impl.iter_values()
-        return iter(source)
+            return source.impl.iter_values(), []
+        values = list(source)
+        return values, self._pin_args(values)
 
     def get(self, index: int) -> Any:
         """Positional read (``get(int)``)."""
@@ -383,7 +432,11 @@ class ChameleonSet(ChameleonCollection):
     def add(self, value: Any) -> bool:
         """Insert ``value``; False if already present."""
         self._record(Op.ADD)
-        added = self.impl.add(value)
+        pinned = self._pin_args((value,))
+        try:
+            added = self.impl.add(value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
         return added
 
@@ -393,11 +446,15 @@ class ChameleonSet(ChameleonCollection):
         self._record(Op.ADD_ALL)
         if isinstance(source, ChameleonCollection):
             source.record_copied()
-            values = source.impl.iter_values()
+            values, pinned = source.impl.iter_values(), []
         else:
-            values = iter(source)
-        for value in values:
-            self.impl.add(value)
+            values = list(source)
+            pinned = self._pin_args(values)
+        try:
+            for value in values:
+                self.impl.add(value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
 
     def remove_value(self, value: Any) -> bool:
@@ -433,7 +490,11 @@ class ChameleonMap(ChameleonCollection):
     def put(self, key: Any, value: Any) -> Any:
         """Associate ``key`` with ``value``; returns the previous value."""
         self._record(Op.PUT)
-        old = self.impl.put(key, value)
+        pinned = self._pin_args((key, value))
+        try:
+            old = self.impl.put(key, value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
         return old
 
@@ -464,11 +525,16 @@ class ChameleonMap(ChameleonCollection):
         self._record(Op.PUT_ALL)
         if isinstance(source, ChameleonMap):
             source.record_copied()
-            items = source.impl.iter_items()
+            items, pinned = source.impl.iter_items(), []
         else:
-            items = iter(source.items())
-        for key, value in items:
-            self.impl.put(key, value)
+            items = list(source.items())
+            pinned = self._pin_args(
+                part for pair in items for part in pair)
+        try:
+            for key, value in items:
+                self.impl.put(key, value)
+        finally:
+            self._unpin_args(pinned)
         self._after_mutation()
 
     def iterate_items(self) -> CollectionIterator:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, FrozenSet, List, Optional, Set, Tuple
 
 from repro.memory.heap import HeapObject, SimHeap
 from repro.memory.semantic_maps import SemanticMap, SemanticMapRegistry
@@ -59,6 +59,26 @@ class MarkSweepGC:
         self._charge = charge or (lambda ticks: None)
         self.cycle_count = 0
         self._collecting = False
+        # Sanitizer/observer hook points.  Pre hooks run before marking;
+        # post hooks run after the sweep with the marked set and any
+        # deliberately kept (e.g. tenured) ids.  Hooks are observers:
+        # they must not charge ticks or mutate the heap, so an attached
+        # sanitizer leaves the simulation byte-identical.
+        self.pre_cycle_hooks: List[Callable[["MarkSweepGC"], None]] = []
+        self.post_cycle_hooks: List[
+            Callable[["MarkSweepGC", Set[int], GcCycleStats,
+                      FrozenSet[int]], None]] = []
+
+    _NO_KEEP: FrozenSet[int] = frozenset()
+
+    def _run_pre_cycle_hooks(self) -> None:
+        for hook in self.pre_cycle_hooks:
+            hook(self)
+
+    def _run_post_cycle_hooks(self, marked: Set[int], stats: GcCycleStats,
+                              kept: FrozenSet[int]) -> None:
+        for hook in self.post_cycle_hooks:
+            hook(self, marked, stats, kept)
 
     @property
     def collecting(self) -> bool:
@@ -87,6 +107,7 @@ class MarkSweepGC:
             The cycle's :class:`GcCycleStats` (also appended to
             :attr:`timeline`).
         """
+        self._run_pre_cycle_hooks()
         self.cycle_count += 1
         stats = GcCycleStats(cycle=self.cycle_count, tick=tick)
 
@@ -97,6 +118,7 @@ class MarkSweepGC:
             self._sweep(marked, stats)
         finally:
             self._collecting = False
+        self._run_post_cycle_hooks(marked, stats, self._NO_KEEP)
 
         self._charge(self.costs.base_ticks
                      + self.costs.mark_ticks_per_object * len(marked)
@@ -146,6 +168,13 @@ class MarkSweepGC:
             stats.live_data += obj.size
             semantic_map = lookup(obj)
             if semantic_map is not None:
+                # A half-built ADT (construction-rooted, not yet adopted
+                # by an owner) cannot answer the footprint protocol yet;
+                # account it as plain data for this cycle.
+                payload = obj.payload
+                if payload is not None and getattr(
+                        payload, "_construction_rooted", False):
+                    continue
                 anchors.append((obj, semantic_map))
 
         for anchor, semantic_map in anchors:

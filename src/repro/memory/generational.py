@@ -107,6 +107,7 @@ class GenerationalGC(MarkSweepGC):
         return stats
 
     def _collect_minor(self, tick: int) -> GcCycleStats:
+        self._run_pre_cycle_hooks()
         self.minor_cycles += 1
         self.cycle_count += 1
         stats = GcCycleStats(cycle=self.cycle_count, tick=tick,
@@ -126,6 +127,9 @@ class GenerationalGC(MarkSweepGC):
                 stats.freed_objects += 1
         finally:
             self._collecting = False
+        # Unreachable tenured objects legitimately float until the next
+        # major cycle; post hooks receive them as the kept set.
+        self._run_post_cycle_hooks(marked, stats, frozenset(self._tenured))
 
         # Age and promote the nursery survivors.
         promoted = 0

@@ -178,6 +178,17 @@ class SimHeap:
         """A live view of every object id currently in the store."""
         return self._objects.keys()
 
+    @property
+    def high_water_id(self) -> int:
+        """The next object id to be assigned.
+
+        Every id ever allocated is strictly below this boundary, which
+        lets observers (e.g. the heap sanitizer) distinguish objects that
+        existed before a GC cycle from ones allocated mid-sweep by death
+        hooks.
+        """
+        return self._next_id
+
     def sweep_dead(self, marked: "set[int]",
                    keep: Optional["set[int]"] = None,
                    ) -> Iterator[HeapObject]:

@@ -37,7 +37,8 @@ DEFAULT_CONTEXT_DEPTH = 2
 """The paper's default partial-context depth ("usually of depth 2 or 3")."""
 
 _INTERNAL_PREFIXES = ("repro.collections", "repro.runtime", "repro.core",
-                      "repro.profiler", "repro.memory", "repro.rules")
+                      "repro.profiler", "repro.memory", "repro.rules",
+                      "repro.verify")
 
 
 @dataclass(frozen=True)

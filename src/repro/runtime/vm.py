@@ -22,7 +22,7 @@ edit, and the re-run program pays nothing at runtime for it.
 
 from __future__ import annotations
 
-from typing import (TYPE_CHECKING, Any, Callable, Optional, Protocol,
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional, Protocol,
                     Tuple, runtime_checkable)
 
 from repro.memory.gc import GcCostParameters, MarkSweepGC
@@ -38,7 +38,26 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.profiler.profiler import SemanticProfiler
 
 __all__ = ["ImplementationChoice", "ReplacementPolicyProtocol",
-           "RuntimeEnvironment"]
+           "RuntimeEnvironment", "add_vm_created_hook",
+           "remove_vm_created_hook"]
+
+
+#: Observers invoked with every freshly constructed RuntimeEnvironment.
+#: The verify subsystem uses this to auto-attach its heap sanitizer to
+#: every VM an experiment harness creates, without the harness knowing.
+#: Hooks must be pure observers (no tick charges, no heap mutation).
+_vm_created_hooks: List[Callable[["RuntimeEnvironment"], None]] = []
+
+
+def add_vm_created_hook(hook: Callable[["RuntimeEnvironment"], None]) -> None:
+    """Register ``hook`` to run on every new :class:`RuntimeEnvironment`."""
+    _vm_created_hooks.append(hook)
+
+
+def remove_vm_created_hook(hook: Callable[["RuntimeEnvironment"], None],
+                           ) -> None:
+    """Unregister a hook added via :func:`add_vm_created_hook`."""
+    _vm_created_hooks.remove(hook)
 
 
 class ImplementationChoice:
@@ -123,6 +142,17 @@ class RuntimeEnvironment:
         self.gc_overhead_fraction = gc_overhead_fraction
         self.gc_overhead_limit = gc_overhead_limit
         self._low_yield_gcs = 0
+        # Optional trace recorder (repro.verify).  Collection wrappers
+        # report their construction here; the recorder then observes the
+        # wrapper's operations without charging ticks, so a recorded run
+        # is byte-identical to a plain one.
+        self.tracer: Optional[Any] = None
+        for hook in _vm_created_hooks:
+            hook(self)
+
+    def set_tracer(self, tracer: Optional[Any]) -> None:
+        """Install (or clear, with ``None``) a collection trace recorder."""
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Time

@@ -1,0 +1,269 @@
+"""Seeded random trace generation for the differential fuzzer.
+
+Traces are generated directly in encoded form (no simulated objects are
+involved until replay), from a ``random.Random`` seeded with a *string* --
+string seeding hashes with SHA-512 internally, so generation is fully
+deterministic under any ``PYTHONHASHSEED``.  The same ``(adt, seed,
+n_ops)`` always yields the identical trace, which is what makes CI
+failures reproducible from the one-line seed in the log.
+
+The generator is ADT-aware rather than uniformly random:
+
+* it tracks a model of the collection's size so most index arguments are
+  valid, with a deliberate sliver of out-of-range indices to check that
+  every implementation raises the same ``IndexError``;
+* each seed draws a *value profile* (ints, floats, bools, strings, heap
+  handles, or mixed) so homogeneous traces exercise the primitive-array
+  family and mixed traces exercise its type rejection;
+* it opens iterators mid-trace and interleaves mutations with their
+  advancement, probing the uniform snapshot-at-start semantics;
+* it occasionally requests an *online swap* to another implementation of
+  the same ADT (the :mod:`repro.core.online` retrofit path), whose replay
+  doubles as a state-equivalence check across the migration;
+* it occasionally forces a GC so the collection's internals survive a
+  collection mid-trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.collections.base import CollectionKind
+from repro.verify.trace import BASELINE_IMPLS, Trace
+
+__all__ = ["generate_trace", "ADT_KINDS", "SWAP_TARGETS"]
+
+ADT_KINDS: Dict[str, CollectionKind] = {
+    "list": CollectionKind.LIST,
+    "set": CollectionKind.SET,
+    "map": CollectionKind.MAP,
+}
+
+_SRC_TYPES = {
+    CollectionKind.LIST: "java/util/ArrayList",
+    CollectionKind.SET: "java/util/HashSet",
+    CollectionKind.MAP: "java/util/HashMap",
+}
+
+#: Swap targets that support the full op surface for their kind, so a
+#: mid-trace swap never turns the rest of the trace into a drop-out.
+SWAP_TARGETS: Dict[CollectionKind, List[str]] = {
+    CollectionKind.LIST: ["ArrayList", "LazyArrayList", "LinkedList"],
+    CollectionKind.SET: ["HashSet", "ArraySet", "LazySet",
+                         "SizeAdaptingSet", "LinkedHashSet"],
+    CollectionKind.MAP: ["HashMap", "ArrayMap", "LazyMap",
+                         "LinkedHashMap", "SizeAdaptingMap"],
+}
+
+_N_HANDLES = 8
+
+
+def _profile_ints(rng: random.Random) -> list:
+    return ["i", rng.randrange(-50, 50)]
+
+
+def _profile_floats(rng: random.Random) -> list:
+    # Exact halves: repr round-trips them losslessly and they never
+    # collide with the int profile under values_equal.
+    return ["f", repr(rng.randrange(-40, 40) / 2)]
+
+
+def _profile_bools(rng: random.Random) -> list:
+    return ["b", rng.random() < 0.5]
+
+
+def _profile_strings(rng: random.Random) -> list:
+    return ["s", f"k{rng.randrange(0, 24)}"]
+
+
+def _profile_objects(rng: random.Random) -> list:
+    return ["o", rng.randrange(_N_HANDLES)]
+
+
+_PROFILES: List[Callable[[random.Random], list]] = [
+    _profile_ints, _profile_floats, _profile_bools,
+    _profile_strings, _profile_objects,
+]
+
+
+def _profile_mixed(rng: random.Random) -> list:
+    return rng.choice(_PROFILES)(rng)
+
+
+class _Generator:
+    def __init__(self, kind: CollectionKind, rng: random.Random,
+                 profile: Callable[[random.Random], list],
+                 profile_name: str) -> None:
+        self.kind = kind
+        self.rng = rng
+        self.profile = profile
+        self.profile_name = profile_name
+        self.ops: List[list] = []
+        self.model_size = 0
+        self.next_slot = 0
+        self.open_slots: List[int] = []
+        # Keys seen by puts, so map queries hit sometimes.
+        self.known_keys: List[list] = []
+
+    def value(self) -> list:
+        return self.profile(self.rng)
+
+    def key(self, hit_rate: float = 0.6) -> list:
+        if self.known_keys and self.rng.random() < hit_rate:
+            return self.rng.choice(self.known_keys)
+        return self.value()
+
+    def index(self, for_insert: bool = False) -> int:
+        upper = self.model_size + (1 if for_insert else 0)
+        if self.rng.random() < 0.05 or upper == 0:
+            # Deliberately out of range: IndexError parity check.
+            return upper + self.rng.randrange(1, 4)
+        return self.rng.randrange(0, upper)
+
+    def emit(self, op: list) -> None:
+        self.ops.append(op)
+
+    # -- op emitters ---------------------------------------------------
+    def emit_mutation(self) -> None:
+        kind = self.kind
+        rng = self.rng
+        if kind is CollectionKind.MAP:
+            roll = rng.random()
+            if roll < 0.55:
+                key = self.key(hit_rate=0.3)
+                self.emit(["put", key, self.value()])
+                self.known_keys.append(key)
+                self.model_size += 1  # upper bound; dup keys overcount
+            elif roll < 0.75:
+                self.emit(["remove_key", self.key()])
+                self.model_size = max(0, self.model_size - 1)
+            elif roll < 0.9:
+                pairs = [["p", [self.value(), self.value()]]
+                         for _ in range(rng.randrange(1, 5))]
+                self.emit(["put_all", pairs])
+                self.model_size += len(pairs)
+            else:
+                self.emit(["clear"])
+                self.model_size = 0
+            return
+        roll = rng.random()
+        if roll < 0.45:
+            self.emit(["add", self.value()])
+            self.model_size += 1
+        elif roll < 0.6 and kind is CollectionKind.LIST:
+            self.emit(["add_at", self.index(for_insert=True), self.value()])
+            self.model_size += 1
+        elif roll < 0.7:
+            values = [self.value() for _ in range(rng.randrange(1, 5))]
+            self.emit(["add_all", values])
+            self.model_size += len(values)
+        elif roll < 0.8 and kind is CollectionKind.LIST:
+            self.emit(["remove_at", self.index()])
+            self.model_size = max(0, self.model_size - 1)
+        elif roll < 0.9:
+            self.emit(["remove_value", self.value()])
+            self.model_size = max(0, self.model_size - 1)
+        elif roll < 0.95 and kind is CollectionKind.LIST:
+            self.emit(["set_at", self.index(), self.value()])
+        else:
+            self.emit(["clear"])
+            self.model_size = 0
+
+    def emit_query(self) -> None:
+        kind = self.kind
+        rng = self.rng
+        if kind is CollectionKind.MAP:
+            op = rng.choice(["get", "contains_key", "contains_value",
+                             "size", "is_empty"])
+            if op in ("get", "contains_key"):
+                self.emit([op, self.key()])
+            elif op == "contains_value":
+                self.emit([op, self.value()])
+            else:
+                self.emit([op])
+            return
+        op = rng.choice(["contains", "size", "is_empty"]
+                        + (["get", "index_of", "to_list", "remove_first"]
+                           if kind is CollectionKind.LIST else []))
+        if op in ("contains", "index_of"):
+            self.emit([op, self.value()])
+        elif op == "get":
+            self.emit([op, self.index()])
+        else:
+            self.emit([op])
+
+    def emit_iteration(self) -> None:
+        rng = self.rng
+        if len(self.open_slots) < 2 and rng.random() < 0.6:
+            slot = self.next_slot
+            self.next_slot += 1
+            if self.kind is CollectionKind.MAP:
+                mode = rng.choice(["values", "items", "keys"])
+            else:
+                mode = "values"
+            self.emit(["iter_new", slot, mode])
+            self.open_slots.append(slot)
+        if not self.open_slots:
+            return
+        slot = rng.choice(self.open_slots)
+        steps = rng.randrange(1, 5)
+        for _ in range(steps):
+            self.emit(["iter_next", slot])
+            if rng.random() < 0.25:
+                self.emit_mutation()  # probe snapshot semantics
+        if rng.random() < 0.3:
+            self.open_slots.remove(slot)
+
+    def emit_swap(self) -> None:
+        target = self.rng.choice(SWAP_TARGETS[self.kind])
+        kwargs: dict = {}
+        if target.startswith("SizeAdapting") and self.rng.random() < 0.5:
+            kwargs = {"conversion_threshold":
+                      self.rng.choice([2, 4, 8])}
+        self.emit(["swap", target, kwargs])
+
+
+def generate_trace(adt: str, seed: int, n_ops: int = 40) -> Trace:
+    """Generate one deterministic random trace for ``adt``.
+
+    Args:
+        adt: ``"list"``, ``"set"`` or ``"map"``.
+        seed: Trace seed; together with ``adt`` and ``n_ops`` it fully
+            determines the trace under any ``PYTHONHASHSEED``.
+        n_ops: Approximate op count (iteration bursts may overshoot).
+    """
+    kind = ADT_KINDS[adt]
+    rng = random.Random(f"chameleon-fuzz/{adt}/{seed}/{n_ops}")
+    profiles: List = list(_PROFILES) + [_profile_mixed]
+    profile = profiles[seed % len(profiles)]
+    gen = _Generator(kind, rng, profile, profile.__name__)
+
+    if rng.random() < 0.3:
+        init = [(["p", [gen.value(), gen.value()]]
+                 if kind is CollectionKind.MAP else gen.value())
+                for _ in range(rng.randrange(1, 6))]
+        gen.emit(["init", init])
+        gen.model_size = len(init)
+
+    while len(gen.ops) < n_ops:
+        roll = rng.random()
+        if roll < 0.45:
+            gen.emit_mutation()
+        elif roll < 0.72:
+            gen.emit_query()
+        elif roll < 0.92:
+            gen.emit_iteration()
+        elif roll < 0.97:
+            gen.emit_swap()
+        else:
+            gen.emit(["gc"])
+
+    trace = Trace(kind=kind, src_type=_SRC_TYPES[kind],
+                  baseline_impl=BASELINE_IMPLS[kind],
+                  context=f"fuzz/{adt}/seed={seed}")
+    trace.ops = gen.ops
+    trace.meta = {"generator": "repro.verify.generate",
+                  "adt": adt, "seed": seed, "n_ops": n_ops,
+                  "profile": profile.__name__}
+    return trace

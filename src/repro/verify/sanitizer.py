@@ -1,0 +1,282 @@
+"""Heap and semantic-map sanitizer: GC-cycle invariant checking.
+
+The simulated heap is an explicit object graph with byte-accurate
+accounting, and the collector's Table 3 statistics are only as
+trustworthy as that graph.  :class:`HeapSanitizer` hangs off the
+collector's pre/post cycle hooks and, after *every* GC cycle (major or
+minor), validates the structural invariants the rest of the system
+assumes:
+
+* **roots-live** -- every registered GC root is still in the store;
+* **no-dangling** -- every reference edge out of a marked object points
+  at an object in the store, with positive multiplicity;
+* **sweep-complete** -- no unmarked, un-kept object from before the cycle
+  survives the sweep (objects allocated *during* the sweep by death hooks
+  are exempt: their ids are at or above the pre-cycle high-water mark);
+* **semantic-attribution** -- every live collection anchor yields a
+  well-formed footprint triple (``live >= used >= core >= 0``), its
+  internal objects are live and claimed by exactly one top-level anchor,
+  and its ``live`` bytes equal the anchor plus its distinct internals
+  (the semantic map attributes exactly the collection's own objects,
+  nothing more, nothing less);
+* **stats-ordering** -- the cycle's aggregate statistics satisfy
+  ``live_data >= collection_live >= collection_used >= collection_core``
+  and every per-context triple satisfies the same ordering;
+* **occupancy** -- the heap's running byte ledger
+  (``allocated - freed``) equals the sum of the sizes in the store.
+
+The sanitizer is a pure observer: it never charges the virtual clock,
+never allocates simulated objects, and never mutates the heap, so a
+sanitized run's tick trace is byte-identical to a plain run (pinned by
+``tests/verify/test_sanitizer.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.runtime.vm import (RuntimeEnvironment, add_vm_created_hook,
+                              remove_vm_created_hook)
+
+__all__ = ["Violation", "HeapSanitizer", "sanitized_vms"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach observed after a GC cycle."""
+
+    check: str
+    cycle: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] cycle {self.cycle}: {self.detail}"
+
+
+class HeapSanitizer:
+    """Validates heap/semantic-map invariants after every GC cycle.
+
+    Attach with :meth:`attach`; violations accumulate in
+    :attr:`violations` (bounded by ``max_violations`` per check kind so a
+    systemic breach cannot OOM the host).  ``strict=True`` raises
+    :class:`AssertionError` on the first violation instead.
+    """
+
+    def __init__(self, strict: bool = False,
+                 max_violations: int = 64) -> None:
+        self.strict = strict
+        self.max_violations = max_violations
+        self.violations: List[Violation] = []
+        self.cycles_checked = 0
+        self._boundaries: Dict[int, int] = {}
+        self._vms: List[RuntimeEnvironment] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, vm: RuntimeEnvironment) -> "HeapSanitizer":
+        vm.gc.pre_cycle_hooks.append(self._pre_cycle)
+        vm.gc.post_cycle_hooks.append(self._post_cycle)
+        self._vms.append(vm)
+        return self
+
+    def detach(self, vm: RuntimeEnvironment) -> None:
+        with contextlib.suppress(ValueError):
+            vm.gc.pre_cycle_hooks.remove(self._pre_cycle)
+        with contextlib.suppress(ValueError):
+            vm.gc.post_cycle_hooks.remove(self._post_cycle)
+        with contextlib.suppress(ValueError):
+            self._vms.remove(vm)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        if self.ok:
+            return (f"sanitizer: {self.cycles_checked} GC cycle(s) checked, "
+                    "no violations")
+        lines = [f"sanitizer: {len(self.violations)} violation(s) over "
+                 f"{self.cycles_checked} cycle(s):"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _pre_cycle(self, gc) -> None:
+        self._boundaries[id(gc)] = gc.heap.high_water_id
+
+    def _post_cycle(self, gc, marked: Set[int], stats,
+                    kept: FrozenSet[int]) -> None:
+        boundary = self._boundaries.pop(id(gc), 0)
+        self.cycles_checked += 1
+        cycle = stats.cycle
+        self._check_roots(gc, cycle)
+        self._check_refs(gc, marked, cycle)
+        self._check_sweep(gc, marked, kept, boundary, cycle)
+        self._check_semantics(gc, marked, cycle)
+        self._check_stats(stats, cycle)
+        self._check_occupancy(gc, cycle)
+
+    def _emit(self, check: str, cycle: int, detail: str) -> None:
+        if sum(1 for v in self.violations if v.check == check) \
+                >= self.max_violations:
+            return
+        violation = Violation(check, cycle, detail)
+        self.violations.append(violation)
+        if self.strict:
+            raise AssertionError(str(violation))
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _check_roots(self, gc, cycle: int) -> None:
+        heap = gc.heap
+        for root_id in heap.root_ids():
+            if not heap.contains(root_id):
+                self._emit("roots-live", cycle,
+                           f"root #{root_id} was swept")
+
+    def _check_refs(self, gc, marked: Set[int], cycle: int) -> None:
+        heap = gc.heap
+        for obj_id in marked:
+            obj = heap.get(obj_id) if heap.contains(obj_id) else None
+            if obj is None:
+                self._emit("no-dangling", cycle,
+                           f"marked object #{obj_id} missing from store")
+                continue
+            for ref_id, count in obj.refs.items():
+                if count < 0:
+                    self._emit("no-dangling", cycle,
+                               f"#{obj_id} holds negative-multiplicity "
+                               f"edge to #{ref_id} ({count})")
+                elif count > 0 and not heap.contains(ref_id):
+                    self._emit("no-dangling", cycle,
+                               f"{obj.type_name}#{obj_id} references swept "
+                               f"object #{ref_id} (x{count})")
+
+    def _check_sweep(self, gc, marked: Set[int], kept: FrozenSet[int],
+                     boundary: int, cycle: int) -> None:
+        survivors = gc.heap.ids() - marked
+        if kept:
+            survivors = survivors - kept
+        for obj_id in survivors:
+            # Death hooks may allocate mid-sweep; those ids sit at or
+            # above the pre-cycle high-water mark and are legitimate.
+            if obj_id < boundary:
+                obj = gc.heap.get(obj_id)
+                self._emit("sweep-complete", cycle,
+                           f"unmarked {obj.type_name}#{obj_id} survived "
+                           "the sweep")
+
+    def _check_semantics(self, gc, marked: Set[int], cycle: int) -> None:
+        heap = gc.heap
+        lookup = gc.semantic_maps.lookup
+        anchors = []
+        for obj_id in marked:
+            if not heap.contains(obj_id):
+                continue  # already reported by no-dangling
+            obj = heap.get(obj_id)
+            semantic_map = lookup(obj)
+            if semantic_map is not None:
+                # Half-built ADTs (construction-rooted, not yet adopted)
+                # are accounted as plain data by the collector; mirror that.
+                payload = obj.payload
+                if payload is not None and getattr(
+                        payload, "_construction_rooted", False):
+                    continue
+                anchors.append((obj, semantic_map))
+
+        claimed: Set[int] = set()
+        for anchor, semantic_map in anchors:
+            claimed.update(semantic_map.internal_ids(anchor))
+
+        owners: Dict[int, int] = {}
+        for anchor, semantic_map in anchors:
+            if anchor.obj_id in claimed:
+                continue  # folded into its owning ADT, same as _account
+            try:
+                triple = semantic_map.footprint(anchor)
+            except ValueError as exc:
+                self._emit("semantic-attribution", cycle,
+                           f"{anchor.type_name}#{anchor.obj_id} yields "
+                           f"malformed footprint: {exc}")
+                continue
+            internal_bytes = 0
+            seen: Set[int] = set()
+            broken = False
+            for internal_id in semantic_map.internal_ids(anchor):
+                if internal_id in seen:
+                    continue
+                seen.add(internal_id)
+                prior_owner = owners.get(internal_id)
+                if prior_owner is not None and prior_owner != anchor.obj_id:
+                    self._emit("semantic-attribution", cycle,
+                               f"internal #{internal_id} claimed by both "
+                               f"#{prior_owner} and #{anchor.obj_id}")
+                owners[internal_id] = anchor.obj_id
+                if not heap.contains(internal_id):
+                    self._emit("semantic-attribution", cycle,
+                               f"{anchor.type_name}#{anchor.obj_id} claims "
+                               f"swept internal #{internal_id}")
+                    broken = True
+                    continue
+                if internal_id not in marked:
+                    self._emit("semantic-attribution", cycle,
+                               f"{anchor.type_name}#{anchor.obj_id} claims "
+                               f"unmarked internal #{internal_id}")
+                internal_bytes += heap.get(internal_id).size
+            if broken:
+                continue
+            expected_live = anchor.size + internal_bytes
+            if triple.live != expected_live:
+                self._emit("semantic-attribution", cycle,
+                           f"{anchor.type_name}#{anchor.obj_id} reports "
+                           f"live={triple.live} but anchor+internals total "
+                           f"{expected_live}")
+
+    def _check_stats(self, stats, cycle: int) -> None:
+        if not (stats.live_data >= stats.collection_live
+                >= stats.collection_used >= stats.collection_core >= 0):
+            self._emit("stats-ordering", cycle,
+                       f"aggregate ordering broken: live_data="
+                       f"{stats.live_data} >= live={stats.collection_live} "
+                       f">= used={stats.collection_used} >= core="
+                       f"{stats.collection_core} fails")
+        for context_id, ctx in stats.per_context.items():
+            if not (ctx.live >= ctx.used >= ctx.core >= 0):
+                self._emit("stats-ordering", cycle,
+                           f"context {context_id} triple broken: "
+                           f"{ctx.live}/{ctx.used}/{ctx.core}")
+
+    def _check_occupancy(self, gc, cycle: int) -> None:
+        heap = gc.heap
+        store_bytes = sum(obj.size for obj in heap.objects())
+        if store_bytes != heap.occupied_bytes:
+            self._emit("occupancy", cycle,
+                       f"ledger says {heap.occupied_bytes} occupied bytes "
+                       f"but the store holds {store_bytes}")
+
+
+@contextlib.contextmanager
+def sanitized_vms(strict: bool = False) -> Iterator[HeapSanitizer]:
+    """Attach one shared sanitizer to every VM created inside the block.
+
+    Lets a whole experiment run (e.g. ``fig6``) execute under
+    sanitization without threading a parameter through the experiment
+    API; the accumulated violations are inspected on the yielded
+    sanitizer afterwards.
+    """
+    sanitizer = HeapSanitizer(strict=strict)
+
+    def on_vm(vm: RuntimeEnvironment) -> None:
+        sanitizer.attach(vm)
+
+    add_vm_created_hook(on_vm)
+    try:
+        yield sanitizer
+    finally:
+        remove_vm_created_hook(on_vm)

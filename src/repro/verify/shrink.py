@@ -1,0 +1,203 @@
+"""Trace shrinking (delta debugging) and standalone repro emission.
+
+A fuzzer finding is only useful if a human can stare at it, so every
+divergence is minimised before being reported.  :func:`shrink_trace` runs
+classic ddmin over the op list -- remove exponentially shrinking chunks,
+keeping any removal that preserves the *failure signature* (same
+implementation, same diverging operation) -- followed by a per-op value
+minimisation pass that shrinks surviving arguments toward canonical small
+values (``0``, ``"k0"``, handle ``0``).  Both passes are deterministic:
+the same failing trace always shrinks to the same minimal trace.
+
+Replay tolerates malformed traces by design (orphan ``iter_next`` ops
+replay as no-ops), so the shrinker never needs to repair slot references
+when it deletes an ``iter_new``.
+
+:func:`write_repro_script` renders a shrunk trace as a self-contained
+Python script that re-runs the differential check and exits non-zero on
+divergence -- the artifact CI uploads when the fuzz-smoke leg fails.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Tuple
+
+from repro.verify.trace import DiffReport, Trace, diff_trace
+
+__all__ = ["shrink_trace", "make_failure_checker", "write_repro_script",
+           "ShrinkStats"]
+
+
+class ShrinkStats:
+    """Bookkeeping for one shrink run."""
+
+    def __init__(self) -> None:
+        self.replays = 0
+        self.removed_ops = 0
+        self.minimised_values = 0
+
+
+def make_failure_checker(signature: Tuple[str, str],
+                         sanitize: bool = False,
+                         ) -> Callable[[Trace], bool]:
+    """A predicate: does ``trace`` still fail with ``signature``?
+
+    The signature is ``(impl_name, op_name)`` of the first divergence --
+    looser than exact-step equality (steps shift as ops are removed) but
+    tight enough that shrinking cannot wander onto an unrelated bug.
+    """
+
+    def still_fails(trace: Trace) -> bool:
+        report = diff_trace(trace, sanitize=sanitize)
+        return report.failure_signature() == signature
+
+    return still_fails
+
+
+def _minimise_value(enc: list) -> Optional[list]:
+    """One canonical smaller form for an encoded value, or ``None``."""
+    tag = enc[0]
+    if tag == "i" and enc[1] != 0:
+        return ["i", 0]
+    if tag == "f" and enc[1] != "0.0":
+        return ["f", "0.0"]
+    if tag == "s" and enc[1] != "k0":
+        return ["s", "k0"]
+    if tag == "o" and enc[1] != 0:
+        return ["o", 0]
+    if tag == "p":
+        left = _minimise_value(enc[1][0])
+        if left is not None:
+            return ["p", [left, enc[1][1]]]
+        right = _minimise_value(enc[1][1])
+        if right is not None:
+            return ["p", [enc[1][0], right]]
+    return None
+
+
+def _value_positions(op: list) -> List[Tuple[int, Optional[int]]]:
+    """(arg-index, sub-index) coordinates of encoded values in ``op``."""
+    positions: List[Tuple[int, Optional[int]]] = []
+    for arg_index, arg in enumerate(op[1:], start=1):
+        if not isinstance(arg, list):
+            continue
+        if arg and isinstance(arg[0], str):
+            positions.append((arg_index, None))
+        else:  # bulk list of encodings
+            positions.extend((arg_index, i) for i in range(len(arg)))
+    return positions
+
+
+def shrink_trace(trace: Trace, still_fails: Callable[[Trace], bool],
+                 max_replays: int = 2000,
+                 stats: Optional[ShrinkStats] = None) -> Trace:
+    """ddmin + value minimisation; returns the smallest failing trace.
+
+    ``still_fails`` must hold for ``trace`` itself; the result is
+    1-minimal with respect to op removal (no single op can be removed)
+    unless ``max_replays`` is exhausted first.
+    """
+    stats = stats or ShrinkStats()
+
+    def check(candidate: Trace) -> bool:
+        stats.replays += 1
+        return still_fails(candidate)
+
+    ops = list(trace.ops)
+    # -- pass 1: ddmin chunk removal -----------------------------------
+    chunk = max(1, len(ops) // 2)
+    while chunk >= 1 and stats.replays < max_replays:
+        start = 0
+        removed_any = False
+        while start < len(ops) and stats.replays < max_replays:
+            candidate_ops = ops[:start] + ops[start + chunk:]
+            if candidate_ops and check(trace.with_ops(candidate_ops)):
+                stats.removed_ops += len(ops) - len(candidate_ops)
+                ops = candidate_ops
+                removed_any = True
+            else:
+                start += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else (1 if removed_any
+                                                      else 0)
+
+    # -- pass 2: value minimisation ------------------------------------
+    changed = True
+    while changed and stats.replays < max_replays:
+        changed = False
+        for op_index, op in enumerate(ops):
+            for arg_index, sub_index in _value_positions(op):
+                target = (op[arg_index] if sub_index is None
+                          else op[arg_index][sub_index])
+                smaller = _minimise_value(target)
+                if smaller is None:
+                    continue
+                new_op = json.loads(json.dumps(op))
+                if sub_index is None:
+                    new_op[arg_index] = smaller
+                else:
+                    new_op[arg_index][sub_index] = smaller
+                candidate_ops = ops[:op_index] + [new_op] \
+                    + ops[op_index + 1:]
+                if check(trace.with_ops(candidate_ops)):
+                    ops = candidate_ops
+                    stats.minimised_values += 1
+                    changed = True
+                if stats.replays >= max_replays:
+                    break
+            if stats.replays >= max_replays:
+                break
+
+    shrunk = trace.with_ops(ops)
+    shrunk.meta["shrunk_from"] = len(trace.ops)
+    shrunk.meta["shrink_replays"] = stats.replays
+    return shrunk
+
+
+_REPRO_TEMPLATE = '''\
+#!/usr/bin/env python
+"""Standalone differential repro emitted by the chameleon trace shrinker.
+
+Run with the repository's ``src`` directory on PYTHONPATH:
+
+    PYTHONPATH=src python {script_name}
+
+Exits 0 if every implementation agrees on the embedded trace, 1 on
+divergence (i.e. while the bug reproduces).
+"""
+import sys
+
+{prelude}
+from repro.verify.trace import Trace, diff_trace
+
+TRACE_JSON = {trace_json!r}
+
+
+def main():
+    trace = Trace.from_json(TRACE_JSON)
+    report = diff_trace(trace)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def write_repro_script(trace: Trace, path: str, prelude: str = "") -> str:
+    """Write a self-contained repro script for ``trace`` to ``path``.
+
+    ``prelude`` is injected verbatim before the repro imports -- the test
+    harness uses it to re-plant an intentional bug (``import plant_bug``)
+    so the script reproduces outside the originating process.
+    """
+    script_name = path.rsplit("/", 1)[-1]
+    script = _REPRO_TEMPLATE.format(script_name=script_name,
+                                    prelude=prelude,
+                                    trace_json=trace.to_json())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(script)
+    return path

@@ -49,7 +49,11 @@ class BloatWorkload(Workload):
     def _alloc_handler_lists(self, vm) -> list:
         """The spike context: four eagerly allocated, never-touched
         exception/def/use/phi handler lists per CFG node."""
-        return [ChameleonList(vm, src_type="LinkedList") for _ in range(4)]
+        # Pinned until the caller links them into a CFG node: each list
+        # after the first is otherwise unreachable while its siblings
+        # allocate.
+        return [ChameleonList(vm, src_type="LinkedList").pin()
+                for _ in range(4)]
 
     def _alloc_instruction_list(self, vm) -> ChameleonList:
         """A normally used per-node instruction list (separate context)."""
@@ -65,8 +69,8 @@ class BloatWorkload(Workload):
             record = vm.allocate_data("CfgNode", ref_fields=6, int_fields=4)
             holder.add_ref(record.obj_id)
             instr_a = vm.allocate_data("Instruction", int_fields=2)
-            instr_b = vm.allocate_data("Instruction", int_fields=2)
             record.add_ref(instr_a.obj_id)
+            instr_b = vm.allocate_data("Instruction", int_fields=2)
             record.add_ref(instr_b.obj_id)
             instructions = self._alloc_instruction_list(vm)
             record.add_ref(instructions.heap_obj.obj_id)
@@ -75,6 +79,7 @@ class BloatWorkload(Workload):
             if with_handlers and not self.manual_fixes:
                 for handler_list in self._alloc_handler_lists(vm):
                     record.add_ref(handler_list.heap_obj.obj_id)
+                    handler_list.unpin()
             return record, instructions
 
         def build_method(holder, nodes: int, with_handlers: bool):

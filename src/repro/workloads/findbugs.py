@@ -94,12 +94,17 @@ class FindbugsWorkload(Workload):
                                            int_fields=16)
                 class_record.add_ref(payload.obj_id)
 
+            # Link each collection into the class record as soon as it is
+            # built: constructing the next one can trigger a GC, and an
+            # unlinked wrapper is invisible to the simulated collector.
             annotations = self._make_annotation_map(vm)
+            class_record.add_ref(annotations.heap_obj.obj_id)
             properties = self._make_property_map(vm)
+            class_record.add_ref(properties.heap_obj.obj_id)
             seen = self._make_seen_set(vm)
+            class_record.add_ref(seen.heap_obj.obj_id)
             reports = self._make_report_list(vm)
-            for collection in (annotations, properties, seen, reports):
-                class_record.add_ref(collection.heap_obj.obj_id)
+            class_record.add_ref(reports.heap_obj.obj_id)
 
             for i in range(self.properties_per_class):
                 properties.put(property_keys[i], class_index + i)

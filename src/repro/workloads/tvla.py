@@ -119,7 +119,10 @@ class TvlaWorkload(Workload):
             maps = []
             for group_index, factory in enumerate(self._map_factories()):
                 group = _PREDICATE_GROUPS[group_index]
-                new_map = factory(vm)
+                # Pinned until the AbstractState record owns it: the puts
+                # below allocate (entries, boxes) and may trigger a GC
+                # while the map is only reachable from this Python frame.
+                new_map = factory(vm).pin()
                 if parent_maps is None:
                     for i in range(self.entries_per_map):
                         new_map.put(predicates[group][i],
@@ -135,8 +138,10 @@ class TvlaWorkload(Workload):
                         new_map.put(key, value)
                 maps.append(new_map)
             record = vm.allocate_data("AbstractState", ref_fields=8)
+            vm.add_root(record)
             for state_map in maps:
                 record.add_ref(state_map.heap_obj.obj_id)
+                state_map.unpin()
             # Non-collection state payload: the universe of individuals
             # and node structures, keeping collections at roughly the
             # Fig. 2 share of live data rather than all of it.
@@ -146,7 +151,6 @@ class TvlaWorkload(Workload):
                 node = vm.allocate_data("Individual", ref_fields=4,
                                         int_fields=4)
                 record.add_ref(node.obj_id)
-            vm.add_root(record)
             state_records.append((record, maps))
             # Exploration work: join/update against the parent state.
             for _ in range(2):

@@ -2,10 +2,26 @@
 
 import pytest
 
+from repro.collections.base import CollectionKind, UnsupportedOperation
 from repro.collections.iterators import (CollectionIterator,
                                          iterator_object_size, make_iterator)
-from repro.collections.wrappers import ChameleonList, ChameleonSet
+from repro.collections.registry import default_registry
+from repro.collections.wrappers import (ChameleonList, ChameleonMap,
+                                        ChameleonSet)
 from repro.profiler.counters import Op
+
+LIST_IMPLS = list(default_registry().names_for_kind(CollectionKind.LIST))
+SET_IMPLS = list(default_registry().names_for_kind(CollectionKind.SET))
+MAP_IMPLS = list(default_registry().names_for_kind(CollectionKind.MAP))
+
+#: Per-impl fill values honouring each implementation's type/arity
+#: constraints (typed arrays, singleton, empty).
+LIST_VALUES = {
+    "DoubleArray": [0.5, 1.5, 2.5],
+    "BoolArray": [True, False],
+    "SingletonList": [7],
+    "EmptyList": [],
+}
 
 
 class TestMakeIterator:
@@ -97,3 +113,83 @@ class TestWrapperIntegration:
         assert iterator.is_shared_empty
         lst.add(1)
         assert not lst.iterate().is_shared_empty
+
+
+class TestUniformSemanticsAcrossImpls:
+    """The differential fuzzer normalises iteration assuming every
+    registered implementation honours the same contract: empty iteration
+    through the shared-empty optimisation allocates nothing, and mutation
+    during iteration never disturbs an open iterator (snapshot-at-start).
+    Pin both, per implementation, so a new backing cannot silently break
+    the replay normalisation."""
+
+    @pytest.mark.parametrize("impl", LIST_IMPLS)
+    def test_shared_empty_list_iteration(self, vm, impl):
+        lst = ChameleonList(vm, impl=impl, use_shared_empty_iterator=True)
+        before = vm.heap.total_allocated_objects
+        iterator = lst.iterate()
+        assert iterator.is_shared_empty
+        assert iterator.heap_obj is None
+        assert vm.heap.total_allocated_objects == before
+        assert list(iterator) == []
+
+    @pytest.mark.parametrize("impl", SET_IMPLS)
+    def test_shared_empty_set_iteration(self, vm, impl):
+        s = ChameleonSet(vm, impl=impl, use_shared_empty_iterator=True)
+        before = vm.heap.total_allocated_objects
+        iterator = s.iterate()
+        assert iterator.is_shared_empty
+        assert vm.heap.total_allocated_objects == before
+        assert list(iterator) == []
+
+    @pytest.mark.parametrize("impl", MAP_IMPLS)
+    def test_shared_empty_map_iteration(self, vm, impl):
+        mapping = ChameleonMap(vm, impl=impl,
+                               use_shared_empty_iterator=True)
+        before = vm.heap.total_allocated_objects
+        for iterator in (mapping.iterate(), mapping.iterate_keys(),
+                         mapping.iterate_items()):
+            assert iterator.is_shared_empty
+            assert list(iterator) == []
+        assert vm.heap.total_allocated_objects == before
+
+    @pytest.mark.parametrize("impl", LIST_IMPLS)
+    def test_list_mutation_during_iteration_yields_snapshot(self, vm,
+                                                            impl):
+        values = LIST_VALUES.get(impl, [1, 2, 3])
+        lst = ChameleonList(vm, impl=impl)
+        for value in values:
+            lst.add(value)
+        iterator = lst.iterate()
+        got = [next(iterator)] if values else []
+        try:
+            lst.clear()  # the mutation racing the open iterator
+        except UnsupportedOperation:
+            pytest.skip(f"{impl} is immutable; nothing can race")
+        got.extend(iterator)
+        assert got == values
+        assert lst.size() == 0
+
+    @pytest.mark.parametrize("impl", SET_IMPLS)
+    def test_set_mutation_during_iteration_yields_snapshot(self, vm, impl):
+        s = ChameleonSet(vm, impl=impl)
+        for value in (1, 2, 3):
+            s.add(value)
+        iterator = s.iterate()
+        got = [next(iterator)]
+        s.clear()
+        got.extend(iterator)
+        assert sorted(got) == [1, 2, 3]  # order is impl-defined
+        assert s.size() == 0
+
+    @pytest.mark.parametrize("impl", MAP_IMPLS)
+    def test_map_mutation_during_iteration_yields_snapshot(self, vm, impl):
+        mapping = ChameleonMap(vm, impl=impl)
+        for k in (1, 2, 3):
+            mapping.put(k, k * 10)
+        iterator = mapping.iterate_items()
+        got = [next(iterator)]
+        mapping.clear()
+        got.extend(iterator)
+        assert sorted(got) == [(1, 10), (2, 20), (3, 30)]
+        assert mapping.size() == 0

@@ -103,6 +103,57 @@ class TestOnlineCosts:
         assert "slowdown" in result.render()
 
 
+class MidIterationRetrofitWorkload(Workload):
+    """Churn variant that keeps one populated 'victim' map, with an open
+    iterator, alive across the policy's decision point -- so the live
+    retrofit must convert a non-empty collection mid-iteration and the
+    old implementation's internals must be reclaimed while the iterator
+    is still draining."""
+
+    name = "mid-iteration-retrofit"
+
+    def run(self, vm):
+        self.vm = vm
+        window = []
+        victim = None
+        iterator = None
+
+        def cache_site():
+            return ChameleonMap(vm, src_type="HashMap")
+
+        # Same churn shape as ChurnWorkload: enough same-context deaths
+        # for the policy to decide, with GCs racing the retrofit.  The
+        # victim is the loop's first instance (the allocation context is
+        # the call site, so it must come from the same line).
+        for i in range(self.scaled(120)):
+            mapping = cache_site()
+            mapping.pin()
+            if victim is None:
+                victim = mapping
+                for k in range(6):
+                    victim.put(k, k * 10)
+                self.before_impl = victim.impl.IMPL_NAME
+                iterator = victim.iterate_items()
+                self.head = [next(iterator) for _ in range(2)]
+                continue
+            if i % 3 != 0:
+                window.append(mapping)
+            if len(window) > 10:
+                window.pop(0).unpin()
+            for k in range(5):
+                mapping.put(k, k)
+            if i % 10 == 9:
+                vm.collect()
+
+        self.after_impl = victim.impl.IMPL_NAME
+        # The race the satellite pins: the swap has happened, the old
+        # HashMap internals are garbage, and a GC runs while the
+        # pre-swap iterator is still open.
+        vm.collect()
+        self.tail = list(iterator)
+        self.final_items = sorted(victim.snapshot_items())
+
+
 class TestRetrofit:
     def test_live_instances_swapped_after_decision(self):
         """With retrofit enabled, a decided context's already-live
@@ -117,6 +168,43 @@ class TestRetrofit:
         online = OnlineChameleon(ToolConfig(online_decide_after=4))
         result = online.run(ChurnWorkload(), with_baseline=False)
         assert result.policy.retrofitted == 0
+
+    def test_retrofit_converts_nonempty_collection_mid_iteration(self):
+        online = OnlineChameleon(ToolConfig(online_decide_after=4,
+                                            online_retrofit_live=True))
+        workload = MidIterationRetrofitWorkload()
+        result = online.run(workload, with_baseline=False)
+        assert result.policy.retrofitted > 0
+        assert workload.before_impl == "HashMap"
+        assert workload.after_impl == "ArrayMap"
+        # Snapshot-at-start semantics survive the migration: the
+        # iterator opened before the swap completes over the pre-swap
+        # contents...
+        expected = [(k, k * 10) for k in range(6)]
+        assert sorted(workload.head + workload.tail) == expected
+        # ...and the converted map carries the same mappings.
+        assert workload.final_items == expected
+
+    def test_retrofit_racing_gc_keeps_heap_sound(self):
+        """Every GC cycle racing the retrofit (including the one sweeping
+        the abandoned HashMap internals under an open iterator) upholds
+        the heap invariants."""
+        from repro.verify.sanitizer import sanitized_vms
+
+        online = OnlineChameleon(ToolConfig(online_decide_after=4,
+                                            online_retrofit_live=True))
+        workload = MidIterationRetrofitWorkload()
+        with sanitized_vms() as sanitizer:
+            result = online.run(workload, with_baseline=False)
+        assert result.policy.retrofitted > 0
+        assert workload.after_impl == "ArrayMap"
+        assert sanitizer.cycles_checked >= 1
+        assert sanitizer.ok, sanitizer.report()
+        # The old implementation's entries were reclaimed, not leaked:
+        # after the retrofit every live map here is entry-free.
+        entries = sum(1 for obj in workload.vm.heap.objects()
+                      if obj.type_name == "HashMap$Entry")
+        assert entries == 0
 
 
 class TestOnlinePolicyUnit:

@@ -1,0 +1,44 @@
+"""The committed trace corpus replays divergence-free.
+
+``tests/verify/corpus/`` holds traces recorded from the real workloads
+(``chameleon-repro fuzz --record``), so the differential check runs the
+exact operation mixes the benchmarks perform -- not just the generator's
+synthetic distribution.  Every file must load under the current format
+and diff clean across the registry with the sanitizer attached.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.verify.trace import TRACE_FORMAT_VERSION, Trace, diff_trace
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_present():
+    assert len(CORPUS) >= 10
+    workloads = {path.name.split("-")[0] for path in CORPUS}
+    assert {"tvla", "pmd", "bloat"} <= workloads
+    kinds = {path.name.split("-")[1] for path in CORPUS}
+    assert kinds == {"list", "set", "map"}
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_corpus_file_is_well_formed(path):
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["format"] <= TRACE_FORMAT_VERSION
+    trace = Trace.from_dict(data)
+    assert len(trace.ops) >= 3
+    assert trace.meta["workload"] == path.name.split("-")[0]
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_corpus_trace_diffs_clean(path):
+    trace = Trace.from_json(path.read_text(encoding="utf-8"))
+    report = diff_trace(trace, sanitize=True)
+    assert report.ok, report.summary()
+    for result in report.results.values():
+        assert not result.violations

@@ -1,0 +1,129 @@
+"""Heap sanitizer: invariant checks, corruption detection, purity."""
+
+import pytest
+
+from repro.collections.wrappers import ChameleonList, ChameleonMap
+from repro.runtime.vm import RuntimeEnvironment
+from repro.verify.sanitizer import HeapSanitizer, sanitized_vms
+
+
+def _vm():
+    return RuntimeEnvironment(gc_threshold_bytes=None)
+
+
+class TestCleanRuns:
+    def test_collection_heavy_run_has_no_violations(self):
+        vm = _vm()
+        sanitizer = HeapSanitizer().attach(vm)
+        holder = vm.allocate_data("Holder", ref_fields=4)
+        vm.add_root(holder)
+        for i in range(12):
+            mapping = ChameleonMap(vm, src_type="HashMap")
+            holder.add_ref(mapping.heap_obj.obj_id)
+            for k in range(6):
+                mapping.put(k, k)
+            lst = ChameleonList(vm).pin()
+            lst.add_all(range(5))
+            lst.unpin()  # becomes garbage for the next cycle
+            if i % 4 == 3:
+                vm.collect()
+        vm.collect()
+        assert sanitizer.cycles_checked >= 4
+        assert sanitizer.ok, sanitizer.report()
+        assert "no violations" in sanitizer.report()
+
+    def test_sanitizer_is_tick_pure(self):
+        """Attaching the sanitizer must not move the virtual clock or the
+        allocation ledger: Table 3 numbers from a sanitized run are the
+        run's real numbers."""
+        def drive(vm):
+            lst = ChameleonList(vm).pin()
+            for i in range(40):
+                lst.add(i)
+            list(lst.iterate())
+            vm.collect()
+            return (vm.now, vm.heap.total_allocated_bytes,
+                    vm.heap.total_allocated_objects, vm.gc.cycle_count)
+
+        plain = drive(_vm())
+        vm = _vm()
+        sanitizer = HeapSanitizer().attach(vm)
+        sanitized = drive(vm)
+        assert sanitized == plain
+        assert sanitizer.cycles_checked == 1
+
+
+class TestCorruptionDetection:
+    def test_dangling_reference_is_reported(self):
+        vm = _vm()
+        sanitizer = HeapSanitizer().attach(vm)
+        obj = vm.allocate_data("Corrupt", ref_fields=1)
+        vm.add_root(obj)
+        obj.add_ref(999_999_999)  # edge to an object that never existed
+        vm.collect()
+        assert not sanitizer.ok
+        assert any(v.check == "no-dangling" for v in sanitizer.violations)
+        assert "999999999" in sanitizer.report()
+
+    def test_negative_multiplicity_is_reported(self):
+        vm = _vm()
+        sanitizer = HeapSanitizer().attach(vm)
+        obj = vm.allocate_data("Corrupt", ref_fields=1)
+        other = vm.allocate_data("Elem", int_fields=1)
+        vm.add_root(obj)
+        vm.add_root(other)
+        obj.refs[other.obj_id] = -1  # bypass the KeyError guard
+        vm.collect()
+        assert any(v.check == "no-dangling"
+                   and "negative-multiplicity" in v.detail
+                   for v in sanitizer.violations)
+
+    def test_strict_mode_raises_on_first_violation(self):
+        vm = _vm()
+        HeapSanitizer(strict=True).attach(vm)
+        obj = vm.allocate_data("Corrupt", ref_fields=1)
+        vm.add_root(obj)
+        obj.add_ref(999_999_999)
+        with pytest.raises(AssertionError, match="no-dangling"):
+            vm.collect()
+
+    def test_violations_are_bounded_per_check(self):
+        vm = _vm()
+        sanitizer = HeapSanitizer(max_violations=3).attach(vm)
+        holder = vm.allocate_data("Corrupt", ref_fields=8)
+        vm.add_root(holder)
+        for bogus in range(10):
+            holder.add_ref(10_000_000 + bogus)
+        vm.collect()
+        dangling = [v for v in sanitizer.violations
+                    if v.check == "no-dangling"]
+        assert len(dangling) == 3
+
+    def test_detach_stops_checking(self):
+        vm = _vm()
+        sanitizer = HeapSanitizer().attach(vm)
+        vm.collect()
+        sanitizer.detach(vm)
+        obj = vm.allocate_data("Corrupt", ref_fields=1)
+        vm.add_root(obj)
+        obj.add_ref(999_999_999)
+        vm.collect()
+        assert sanitizer.cycles_checked == 1
+        assert sanitizer.ok
+
+
+class TestSanitizedVmsContext:
+    def test_attaches_to_every_vm_created_inside(self):
+        with sanitized_vms() as sanitizer:
+            first, second = _vm(), _vm()
+            first.collect()
+            second.collect()
+        assert sanitizer.cycles_checked == 2
+        assert sanitizer.ok
+
+    def test_does_not_touch_vms_created_outside(self):
+        with sanitized_vms() as sanitizer:
+            pass
+        vm = _vm()
+        vm.collect()
+        assert sanitizer.cycles_checked == 0

@@ -1,0 +1,152 @@
+"""Shrinker + the planted-bug acceptance path: an intentional semantics
+bug in ``ArrayMapImpl`` must be caught by the fuzz campaign, minimised to
+a handful of ops, and reproduce from the emitted standalone script."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.collections.base import CollectionKind
+from repro.collections.maps import ArrayMapImpl
+from repro.verify.fuzz import run_fuzz
+from repro.verify.shrink import (ShrinkStats, make_failure_checker,
+                                 shrink_trace, write_repro_script)
+from repro.verify.trace import Trace, diff_trace
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: The plant: remove_key drops the mapping but reports nothing removed --
+#: a classic lost-return-value bug.  HashMap (the baseline) returns the
+#: removed value, so any trace that removes a present key diverges.
+PLANT_BUG_MODULE = '''\
+"""Replants the intentional ArrayMap bug for out-of-process repros."""
+from repro.collections.maps import ArrayMapImpl
+
+_original = ArrayMapImpl.remove_key
+
+
+def _lossy_remove_key(self, key):
+    _original(self, key)
+    return None
+
+
+ArrayMapImpl.remove_key = _lossy_remove_key
+'''
+
+
+def _plant(monkeypatch):
+    original = ArrayMapImpl.remove_key
+
+    def lossy_remove_key(self, key):
+        original(self, key)
+        return None
+
+    monkeypatch.setattr(ArrayMapImpl, "remove_key", lossy_remove_key)
+
+
+def _failing_trace():
+    trace = Trace(kind=CollectionKind.MAP, src_type="java/util/HashMap",
+                  baseline_impl="HashMap", context="test/planted")
+    trace.ops = [
+        ["put", ["s", "a"], ["i", 41]],
+        ["size"],
+        ["put", ["s", "b"], ["i", 7]],
+        ["get", ["s", "a"]],
+        ["contains_key", ["s", "b"]],
+        ["remove_key", ["s", "a"]],   # the only op that exposes the plant
+        ["is_empty"],
+        ["clear"],
+    ]
+    return trace
+
+
+class TestShrinkMechanics:
+    def test_shrinks_to_minimal_failing_pair(self, monkeypatch):
+        _plant(monkeypatch)
+        trace = _failing_trace()
+        signature = diff_trace(trace).failure_signature()
+        assert signature == ("ArrayMap", "remove_key")
+
+        stats = ShrinkStats()
+        shrunk = shrink_trace(trace,
+                              make_failure_checker(signature), stats=stats)
+        # Minimal repro: one put, one remove_key of the same key (a lone
+        # remove_key misses and returns None everywhere).
+        assert len(shrunk.ops) == 2
+        assert [op[0] for op in shrunk.ops] == ["put", "remove_key"]
+        assert shrunk.meta["shrunk_from"] == 8
+        assert shrunk.meta["shrink_replays"] == stats.replays > 0
+        assert stats.removed_ops == 6
+        # Value minimisation shrank the stored value (41 -> 0) but had to
+        # keep the keys: minimising either key alone breaks the put/remove
+        # pairing and loses the failure, so ddmin correctly rejects it.
+        assert shrunk.ops[0][2] == ["i", 0]
+        assert shrunk.ops[0][1] == ["s", "a"]
+        assert shrunk.ops[1][1] == ["s", "a"]
+        assert stats.minimised_values >= 1
+        # And the shrunk trace still fails with the same signature.
+        assert diff_trace(shrunk).failure_signature() == signature
+
+    def test_shrink_is_deterministic(self, monkeypatch):
+        _plant(monkeypatch)
+        checker = make_failure_checker(("ArrayMap", "remove_key"))
+        first = shrink_trace(_failing_trace(), checker)
+        second = shrink_trace(_failing_trace(), checker)
+        assert first.ops == second.ops
+
+    def test_without_plant_the_trace_is_clean(self):
+        report = diff_trace(_failing_trace())
+        assert report.ok, report.summary()
+
+
+class TestPlantedBugEndToEnd:
+    def _campaign(self, tmp_path):
+        return run_fuzz(["map"], seeds=20, out_dir=str(tmp_path / "out"),
+                        shrink=True, sanitize=False, max_failures=1)
+
+    def test_fuzz_catches_shrinks_and_emits_repro(self, monkeypatch,
+                                                  tmp_path):
+        _plant(monkeypatch)
+        result = self._campaign(tmp_path)
+        assert not result.ok
+        failure = result.failures[0]
+        assert failure.report.failure_signature()[1] == "remove_key"
+        assert failure.shrunk is not None
+        assert len(failure.shrunk.ops) <= 10
+        assert failure.repro_path is not None
+        assert os.path.exists(failure.repro_path)
+        json_twin = failure.repro_path[:-3] + ".json"
+        assert os.path.exists(json_twin)
+        assert "FAILURE" in result.summary()
+
+        # The emitted script has no prelude, so in a clean interpreter
+        # (no plant) it must report agreement and exit 0.
+        clean = subprocess.run(
+            [sys.executable, failure.repro_path],
+            capture_output=True, text=True, cwd=str(tmp_path),
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+
+        # With the plant re-applied via the prelude hook, the same trace
+        # must reproduce the divergence standalone.
+        (tmp_path / "plant_bug.py").write_text(PLANT_BUG_MODULE,
+                                               encoding="utf-8")
+        planted_script = write_repro_script(
+            failure.shrunk, str(tmp_path / "repro_planted.py"),
+            prelude="import plant_bug")
+        planted = subprocess.run(
+            [sys.executable, planted_script],
+            capture_output=True, text=True, cwd=str(tmp_path),
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join([str(REPO_ROOT / "src"),
+                                                str(tmp_path)])})
+        assert planted.returncode == 1, planted.stdout + planted.stderr
+        assert "ArrayMap" in planted.stdout
+
+    def test_campaign_is_clean_without_the_plant(self, tmp_path):
+        result = self._campaign(tmp_path)
+        assert result.ok, result.summary()
+        assert not (tmp_path / "out").exists()  # no artifacts when clean

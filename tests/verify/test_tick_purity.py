@@ -1,0 +1,55 @@
+"""Recorder purity: tracing must not perturb the simulation.
+
+The whole point of recording real workloads is that the captured corpus
+reflects what the benchmark actually did.  If attaching the recorder
+moved the virtual clock, the allocation ledger, or GC timing by even one
+byte, the recorded traces (and every Table 3 statistic of the traced run)
+would describe a subtly different execution.  These tests pin
+byte-identical equality between a plain run and a traced run of the same
+workload -- the satellite regression guard for the ``vm.tracer`` hook.
+"""
+
+from repro.core.chameleon import Chameleon
+from repro.verify.trace import TraceRecorder
+from repro.workloads import TvlaWorkload
+
+
+def _fingerprint(vm):
+    return (vm.now,
+            vm.heap.total_allocated_bytes,
+            vm.heap.total_allocated_objects,
+            vm.heap.occupied_bytes,
+            vm.gc.cycle_count)
+
+
+def _run(workload, recorder=None):
+    vm = Chameleon().make_vm()
+    if recorder is not None:
+        recorder.install(vm)
+    workload.run(vm)
+    vm.finish()
+    return _fingerprint(vm)
+
+
+class TestTickPurity:
+    def test_traced_run_is_byte_identical(self):
+        plain = _run(TvlaWorkload(seed=1, scale=0.05))
+        recorder = TraceRecorder()
+        traced = _run(TvlaWorkload(seed=1, scale=0.05), recorder)
+        assert traced == plain
+        assert recorder.traces  # and it actually recorded something
+
+    def test_traced_run_crosses_gc(self):
+        """The equality above is only meaningful if the run collects: GC
+        timing is the most perturbation-sensitive observable."""
+        plain = _run(TvlaWorkload(seed=1, scale=0.05))
+        assert plain[-1] >= 1
+
+    def test_capped_recorder_is_also_pure(self):
+        """Truncation and src_type filtering take different recorder code
+        paths; they must be just as invisible."""
+        plain = _run(TvlaWorkload(seed=1, scale=0.05))
+        recorder = TraceRecorder(max_ops_per_trace=2, max_traces=3,
+                                 src_types={"HashMap"})
+        traced = _run(TvlaWorkload(seed=1, scale=0.05), recorder)
+        assert traced == plain
