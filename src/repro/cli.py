@@ -16,6 +16,9 @@ Examples::
     chameleon-repro perf --suite --jobs 4
     chameleon-repro fuzz --adt all --seeds 50
     chameleon-repro fuzz --record tvla --scale 0.05
+    chameleon-repro lint --paths src/repro/workloads --format sarif \\
+        --output lint.sarif
+    chameleon-repro lint --drift /tmp/sessions.pkl --paths src
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -142,6 +145,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="workload scale for the --suite section")
     perf.add_argument("--suite-resolution", type=int, default=16384,
                       help="min-heap resolution for the --suite section")
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: check rule sets, lint collection "
+                     "usage in sources, diff against a profiling session")
+    lint.add_argument("--rules", nargs="*", metavar="FILE", default=None,
+                      help="rule files to check (one Fig. 4 rule per "
+                           "line; default: the builtin Table 2 set)")
+    lint.add_argument("--paths", nargs="*", metavar="PATH", default=None,
+                      help="Python files/directories to lint for "
+                           "collection usage")
+    lint.add_argument("--drift", metavar="SESSION", default=None,
+                      help="session-cache pickle (see 'experiment "
+                           "--session-cache') to diff static predictions "
+                           "against")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text", help="report format (default text)")
+    lint.add_argument("--output", metavar="PATH", default=None,
+                      help="write the report here instead of stdout")
+    lint.add_argument("--fail-on", choices=["warning", "error"],
+                      default="error",
+                      help="exit 1 when a finding at or above this "
+                           "severity exists (default error)")
+    lint.add_argument("--no-overlap", action="store_true",
+                      help="skip the pairwise overlap/shadowing checks")
 
     fuzz = sub.add_parser(
         "fuzz", help="differential trace fuzzer: replay generated or "
@@ -296,6 +323,66 @@ def _cmd_perf(args) -> str:
     return "\n".join(parts)
 
 
+def _cmd_lint(args) -> str:
+    from repro.lint import findings as findings_mod
+    from repro.lint.drift import drift_report, load_sessions
+    from repro.lint.rule_checker import check_rules, load_rules_file
+    from repro.lint.sarif import emit_sarif
+    from repro.lint.usage import lint_paths
+    from repro.rules.builtin import BUILTIN_RULES
+    from repro.rules.parser import ParseError
+
+    all_findings = []
+    if args.rules:
+        for rules_path in args.rules:
+            try:
+                specs = load_rules_file(rules_path)
+            except OSError as exc:
+                raise SystemExit(f"{rules_path}: {exc}")
+            except ParseError as exc:
+                raise SystemExit(str(exc))
+            all_findings.extend(check_rules(specs))
+    else:
+        all_findings.extend(check_rules(BUILTIN_RULES))
+    if args.no_overlap:
+        all_findings = [f for f in all_findings
+                        if not f.id.startswith("L1-overlap")
+                        and f.id != "L1-shadowed-duplicate"]
+
+    predictions = []
+    if args.paths:
+        usage_findings, predictions = lint_paths(args.paths)
+        all_findings.extend(usage_findings)
+
+    if args.drift is not None:
+        try:
+            sessions = load_sessions(args.drift)
+        except OSError as exc:
+            raise SystemExit(f"{args.drift}: {exc}")
+        drift_findings, _entries = drift_report(predictions, sessions)
+        all_findings.extend(drift_findings)
+
+    if args.format == "json":
+        report = findings_mod.emit_json(all_findings)
+    elif args.format == "sarif":
+        report = emit_sarif(all_findings)
+    else:
+        report = findings_mod.emit_text(all_findings)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        report = f"wrote {args.output} ({len(all_findings)} finding(s))"
+
+    threshold = (findings_mod.Severity.WARNING
+                 if args.fail_on == "warning"
+                 else findings_mod.Severity.ERROR)
+    worst = findings_mod.worst_severity(all_findings)
+    if worst is not None and worst >= threshold:
+        print(report)
+        raise SystemExit(1)
+    return report
+
+
 def _cmd_fuzz(args) -> str:
     from repro.verify import diff_trace, record_workload, run_fuzz
 
@@ -339,6 +426,7 @@ _COMMANDS = {
     "histogram": _cmd_histogram,
     "experiment": _cmd_experiment,
     "perf": _cmd_perf,
+    "lint": _cmd_lint,
     "fuzz": _cmd_fuzz,
 }
 

@@ -1,0 +1,39 @@
+"""Static analysis over the Fig. 4 rule DSL and collection-using sources.
+
+Chameleon is the paper's *dynamic* answer to collection selection; this
+package is the static pass that keeps the dynamic machinery honest:
+
+* **Layer 1** (:mod:`repro.lint.rule_checker`) checks parsed rules
+  semantically -- constants bound, metrics known, replacement targets
+  registered and kind-compatible, conditions satisfiable under an
+  interval domain, and no rule shadowed by an earlier one.
+* **Layer 2** (:mod:`repro.lint.usage`) walks Python workload/client
+  sources with :mod:`ast`, finds wrapper allocation sites, derives
+  static op-mix facts, and predicts which Table 2 rules should fire.
+* The **drift report** (:mod:`repro.lint.drift`) diffs the static
+  predictions against a dynamic profiling session per allocation
+  context: agreements, static-only and dynamic-only findings.
+
+Findings share one model (:mod:`repro.lint.findings`) with text, JSON
+and SARIF 2.1.0 emitters (:mod:`repro.lint.sarif`), surfaced by the
+``chameleon-repro lint`` CLI subcommand.
+"""
+
+from repro.lint.drift import DriftEntry, drift_report
+from repro.lint.findings import (Finding, RuleValidationError, Severity,
+                                 Span, emit_json, emit_text, worst_severity)
+from repro.lint.intervals import Interval, Tri, analyze_condition
+from repro.lint.rule_checker import (check_rules, load_rules_file,
+                                     overlap_report, validate_rules)
+from repro.lint.sarif import emit_sarif, validate_sarif
+from repro.lint.usage import StaticPrediction, lint_paths
+
+__all__ = [
+    "DriftEntry", "drift_report",
+    "Finding", "RuleValidationError", "Severity", "Span",
+    "emit_json", "emit_text", "worst_severity",
+    "Interval", "Tri", "analyze_condition",
+    "check_rules", "load_rules_file", "overlap_report", "validate_rules",
+    "emit_sarif", "validate_sarif",
+    "StaticPrediction", "lint_paths",
+]

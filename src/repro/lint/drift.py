@@ -1,0 +1,195 @@
+"""Layer 3: static-vs-dynamic drift report.
+
+Takes the Layer 2 linter's :class:`~repro.lint.usage.StaticPrediction`
+records and a dynamic profiling session (the cached output of a real
+profiled run) and diffs the two per allocation context:
+
+* **agreement** (``L3-drift-agreement``, note) -- the statically
+  predicted rule fired dynamically (as the context's primary or a
+  secondary suggestion).  These calibrate the linter: its facts held.
+* **static-only** (``L3-static-only``, warning) -- the static pass
+  predicted a rule the profiler never confirmed.  Either the run did not
+  exercise the code path (coverage gap: the classic value of a static
+  pass) or the fact's threshold did not clear dynamically.
+* **dynamic-only** (``L3-dynamic-only``, note) -- the profiler fired a
+  rule at a context the static pass has no prediction for, typically an
+  allocation reached through dynamic dispatch or a threshold-dependent
+  rule (``small-map``) no syntactic fact implies.
+
+Contexts are matched on ``(innermost frame location, srcType)``: the
+static side anchors a site at its assignment statement while the dynamic
+side records the executing line inside the allocating frame, so exact
+line equality is too strict.  But a function can hold several allocation
+sites of the same srcType, so location alone is too loose -- when both
+sides carry a line it is used as a proximity tiebreaker
+(:data:`LINE_TOLERANCE`), which separates sites tens of lines apart
+while tolerating multi-line allocation statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, Severity, Span
+from repro.lint.usage import StaticPrediction
+
+__all__ = ["DriftEntry", "drift_report", "load_sessions", "LINE_TOLERANCE"]
+
+LINE_TOLERANCE = 4
+"""Maximum static/dynamic line skew for two records to name one site."""
+
+
+@dataclass(frozen=True)
+class DriftEntry:
+    """One context/rule pair in the drift diff."""
+
+    status: str
+    """``agreement`` | ``static-only`` | ``dynamic-only``."""
+    location: str
+    src_type: str
+    rule: str
+    static_line: Optional[int] = None
+    dynamic_context: Optional[str] = None
+
+
+@dataclass
+class _DynSite:
+    """One profiled allocation context's fired rules."""
+
+    line: int
+    context: str
+    fired: Set[str] = field(default_factory=set)
+    covered: Set[str] = field(default_factory=set)
+    """Rules consumed by an agreement (not reported dynamic-only)."""
+
+
+def _builtin_name_map() -> Dict[str, str]:
+    """Rule text -> rule name for the builtin set (engine rules carry no
+    names, but their parsed text round-trips exactly)."""
+    from repro.rules.builtin import BUILTIN_RULES
+
+    return {spec.rule.text: spec.name for spec in BUILTIN_RULES}
+
+
+def _dynamic_index(sessions: Iterable,
+                   ) -> Dict[Tuple[str, str], List[_DynSite]]:
+    """``(location, srcType) -> sites`` with their fired rule names.
+
+    Primary and secondary suggestions both count as "fired": the engine's
+    first-match priority decides which becomes primary, but every match
+    confirms its rule's condition held at the context.
+    """
+    names = _builtin_name_map()
+    index: Dict[Tuple[str, str], List[_DynSite]] = {}
+    for session in sessions:
+        for suggestion in session.suggestions:
+            profile = suggestion.profile
+            if profile.key is None or not profile.key.frames:
+                continue
+            frame = profile.key.frames[0]
+            key = (frame.location, profile.src_type)
+            sites = index.setdefault(key, [])
+            site = next((s for s in sites if s.line == frame.line), None)
+            if site is None:
+                site = _DynSite(line=frame.line,
+                                context=profile.render_context())
+                sites.append(site)
+            for match in [suggestion] + suggestion.secondary:
+                site.fired.add(names.get(match.rule.text, match.rule.text))
+    return index
+
+
+def _lines_compatible(static_line: int, dynamic_line: int) -> bool:
+    if static_line <= 0 or dynamic_line <= 0:
+        return True  # position unknown on one side: don't discriminate
+    return abs(static_line - dynamic_line) <= LINE_TOLERANCE
+
+
+def drift_report(predictions: Sequence[StaticPrediction],
+                 sessions: Sequence,
+                 ) -> Tuple[List[Finding], List[DriftEntry]]:
+    """Diff static predictions against dynamic sessions.
+
+    ``sessions`` is any sequence of
+    :class:`~repro.core.chameleon.ProfilingSession` (cached, ``vm=None``
+    sessions work).  Returns ``(findings, entries)``.
+    """
+    dynamic = _dynamic_index(sessions)
+    findings: List[Finding] = []
+    entries: List[DriftEntry] = []
+
+    for prediction in predictions:
+        agreed: Optional[Tuple[str, _DynSite]] = None
+        profiled: Optional[Tuple[str, _DynSite]] = None
+        for src_type in sorted(prediction.src_types):
+            for site in dynamic.get((prediction.location, src_type), []):
+                if not _lines_compatible(prediction.line, site.line):
+                    continue
+                if prediction.predicted_rule in site.fired:
+                    agreed = (src_type, site)
+                    break
+                if profiled is None:
+                    profiled = (src_type, site)
+            if agreed is not None:
+                break
+        if agreed is not None:
+            src_type, site = agreed
+            site.covered.add(prediction.predicted_rule)
+            entries.append(DriftEntry(
+                "agreement", prediction.location, src_type,
+                prediction.predicted_rule, static_line=prediction.line,
+                dynamic_context=site.context))
+            findings.append(Finding(
+                id="L3-drift-agreement", severity=Severity.NOTE,
+                message=f"static prediction confirmed: "
+                        f"{prediction.predicted_rule!r} fired at "
+                        f"{src_type}:{prediction.location}",
+                span=Span(file=prediction.file, line=prediction.line),
+                context=site.context,
+                predicted_rule=prediction.predicted_rule))
+        else:
+            src_type = "/".join(sorted(prediction.src_types))
+            context = profiled[1].context if profiled is not None else None
+            reason = ("the context was profiled but the rule did not "
+                      "fire (threshold or gating)" if profiled is not None
+                      else "the context never appeared in the profile "
+                           "(code path not exercised)")
+            entries.append(DriftEntry(
+                "static-only", prediction.location, src_type,
+                prediction.predicted_rule, static_line=prediction.line,
+                dynamic_context=context))
+            findings.append(Finding(
+                id="L3-static-only", severity=Severity.WARNING,
+                message=f"static prediction unconfirmed: "
+                        f"{prediction.predicted_rule!r} expected at "
+                        f"{src_type}:{prediction.location} but {reason}",
+                span=Span(file=prediction.file, line=prediction.line),
+                context=context, predicted_rule=prediction.predicted_rule))
+
+    for (location, src_type), sites in sorted(dynamic.items()):
+        for site in sites:
+            for rule in sorted(site.fired - site.covered):
+                entries.append(DriftEntry(
+                    "dynamic-only", location, src_type, rule,
+                    dynamic_context=site.context))
+                findings.append(Finding(
+                    id="L3-dynamic-only", severity=Severity.NOTE,
+                    message=f"dynamic-only: {rule!r} fired at "
+                            f"{src_type}:{location} with no static "
+                            f"prediction (dynamic dispatch or a "
+                            f"threshold-dependent rule)",
+                    span=Span(file="<session>", line=0),
+                    context=site.context, predicted_rule=rule))
+    return findings, entries
+
+
+def load_sessions(path: str) -> List:
+    """Load every cached session from a ``SessionCache.save`` pickle."""
+    import pickle
+
+    with open(path, "rb") as handle:
+        entries = pickle.load(handle)
+    if isinstance(entries, dict):
+        return list(entries.values())
+    return list(entries)

@@ -1,0 +1,415 @@
+"""Interval-domain reasoning over rule conditions.
+
+Every identifier the Fig. 4 language can mention is a non-negative
+statistic (operation counts and their deviations, sizes, instance
+counts, heap byte aggregates), so each starts in the base interval
+``[0, +inf)``.  Conditions are evaluated in three-valued logic over
+those intervals; conjunctions first *refine* the intervals (``maxSize
+== 0 & maxSize > 10`` narrows ``maxSize`` to the empty interval), so:
+
+* a condition that evaluates to :data:`Tri.FALSE` is **unsatisfiable**
+  -- the rule can never fire on any profile;
+* a condition that evaluates to :data:`Tri.TRUE` is **tautological**
+  -- the rule fires on every type-matching profile, so its condition
+  is dead weight (and it shadows every later rule on the type).
+
+Beyond plain intervals the domain knows the schema's relational facts
+(Table 1 / Table 3 invariants): ``avgMaxSize`` aliases ``maxSize``,
+``maxSize <= maxMaxSize``, ``deadInstances <= instances``, and the heap
+stats ordering ``core <= used <= live`` the sanitizer enforces.  A
+comparison between two bare identifiers consults those facts when the
+intervals alone cannot decide.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.rules.ast import (AndCond, BinaryOp, Comparison, Condition,
+                             ConstRef, DataRef, Expr, NotCond, Number,
+                             OpCount, OpVariance, OrCond)
+
+__all__ = ["Tri", "Interval", "TOP", "NON_NEGATIVE", "EMPTY",
+           "base_interval", "canonical_ref", "analyze_condition",
+           "ConditionAnalysis"]
+
+_INF = math.inf
+
+
+class Tri(enum.Enum):
+    """Three-valued truth: holds always, never, or sometimes."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+
+def _tri_and(a: Tri, b: Tri) -> Tri:
+    if a is Tri.FALSE or b is Tri.FALSE:
+        return Tri.FALSE
+    if a is Tri.TRUE and b is Tri.TRUE:
+        return Tri.TRUE
+    return Tri.UNKNOWN
+
+
+def _tri_or(a: Tri, b: Tri) -> Tri:
+    if a is Tri.TRUE or b is Tri.TRUE:
+        return Tri.TRUE
+    if a is Tri.FALSE and b is Tri.FALSE:
+        return Tri.FALSE
+    return Tri.UNKNOWN
+
+
+def _tri_not(a: Tri) -> Tri:
+    if a is Tri.TRUE:
+        return Tri.FALSE
+    if a is Tri.FALSE:
+        return Tri.TRUE
+    return Tri.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-ended real interval ``[lo, hi]`` (bounds may be infinite).
+
+    ``lo > hi`` encodes the empty interval.
+    """
+
+    lo: float
+    hi: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi and not math.isinf(self.lo)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        products = [_safe_mul(a, b)
+                    for a in (self.lo, self.hi)
+                    for b in (other.lo, other.hi)]
+        return Interval(min(products), max(products))
+
+    def divided_by(self, other: "Interval") -> "Interval":
+        """Interval division; a divisor straddling zero yields TOP."""
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if other.lo <= 0.0 <= other.hi:
+            return TOP
+        quotients = [a / b
+                     for a in (self.lo, self.hi)
+                     for b in (other.lo, other.hi)]
+        return Interval(min(quotients), max(quotients))
+
+    def render(self) -> str:
+        if self.is_empty:
+            return "(empty)"
+        lo = "-inf" if self.lo == -_INF else f"{self.lo:g}"
+        hi = "+inf" if self.hi == _INF else f"{self.hi:g}"
+        return f"[{lo}, {hi}]"
+
+
+def _safe_mul(a: float, b: float) -> float:
+    # IEEE 0 * inf is NaN; in interval arithmetic the limit is 0.
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+TOP = Interval(-_INF, _INF)
+NON_NEGATIVE = Interval(0.0, _INF)
+EMPTY = Interval(1.0, 0.0)
+
+_ALIASES = {"avgMaxSize": "maxSize"}
+"""Identifiers that denote the same statistic."""
+
+_ORDER_LE: Tuple[Tuple[str, str], ...] = (
+    # Per-instance size statistics: an average never exceeds the maximum.
+    ("size", "maxSize"),
+    ("maxSize", "maxMaxSize"),
+    ("size", "maxMaxSize"),
+    # Aggregation only ever moves instances from allocated to dead.
+    ("deadInstances", "instances"),
+    # Table 3 stats ordering (enforced by the heap sanitizer):
+    # core <= used <= live, per cycle and summed.
+    ("totCore", "totUsed"), ("totUsed", "totLive"), ("totCore", "totLive"),
+    ("maxCore", "maxUsed"), ("maxUsed", "maxLive"), ("maxCore", "maxLive"),
+    # Potential is live minus used, so it is bounded by live.
+    ("potential", "totLive"), ("maxPotential", "maxLive"),
+)
+"""Known ``x <= y`` facts between bare identifiers (canonical names)."""
+
+
+def canonical_ref(expr: Expr) -> Optional[str]:
+    """The canonical environment key for a bare identifier, else None."""
+    if isinstance(expr, DataRef):
+        return _ALIASES.get(expr.name, expr.name)
+    if isinstance(expr, OpCount):
+        return expr.op.dsl_name
+    if isinstance(expr, OpVariance):
+        return "@" + expr.op.dsl_name[1:]
+    return None
+
+
+def base_interval(key: str) -> Interval:
+    """The a-priori interval of an identifier (every metric is a count,
+    size or byte aggregate, hence non-negative)."""
+    return NON_NEGATIVE
+
+
+Env = Dict[str, Interval]
+
+
+def _eval_expr(expr: Expr, env: Env,
+               constants: Mapping[str, float]) -> Interval:
+    if isinstance(expr, Number):
+        return Interval(expr.value, expr.value)
+    if isinstance(expr, ConstRef):
+        value = constants.get(expr.name)
+        if value is None:
+            # Unknown constant: reported separately by the rule checker;
+            # here it degrades to TOP so analysis can continue.
+            return TOP
+        return Interval(float(value), float(value))
+    key = canonical_ref(expr)
+    if key is not None:
+        return env.get(key, base_interval(key))
+    if isinstance(expr, BinaryOp):
+        left = _eval_expr(expr.left, env, constants)
+        right = _eval_expr(expr.right, env, constants)
+        if expr.operator == "+":
+            return left + right
+        if expr.operator == "-":
+            return left - right
+        if expr.operator == "*":
+            return left * right
+        if expr.operator == "/":
+            return left.divided_by(right)
+    return TOP
+
+
+def _compare_intervals(operator: str, left: Interval,
+                       right: Interval) -> Tri:
+    if left.is_empty or right.is_empty:
+        # Vacuous: no admissible valuation reaches this comparison.
+        return Tri.FALSE
+    if operator == "<":
+        if left.hi < right.lo:
+            return Tri.TRUE
+        if left.lo >= right.hi:
+            return Tri.FALSE
+        return Tri.UNKNOWN
+    if operator == "<=":
+        if left.hi <= right.lo:
+            return Tri.TRUE
+        if left.lo > right.hi:
+            return Tri.FALSE
+        return Tri.UNKNOWN
+    if operator == ">":
+        return _compare_intervals("<", right, left)
+    if operator == ">=":
+        return _compare_intervals("<=", right, left)
+    if operator == "==":
+        if left.is_point and right.is_point and left.lo == right.lo:
+            return Tri.TRUE
+        if left.hi < right.lo or right.hi < left.lo:
+            return Tri.FALSE
+        return Tri.UNKNOWN
+    if operator == "!=":
+        return _tri_not(_compare_intervals("==", left, right))
+    return Tri.UNKNOWN
+
+
+def _relational_fact(operator: str, left_key: str, right_key: str) -> Tri:
+    """Decide a bare-identifier comparison from the schema's partial
+    order, when intervals alone cannot."""
+    if left_key == right_key:
+        return {"==": Tri.TRUE, "!=": Tri.FALSE, "<": Tri.FALSE,
+                "<=": Tri.TRUE, ">": Tri.FALSE, ">=": Tri.TRUE}[operator]
+    le = (left_key, right_key) in _ORDER_LE
+    ge = (right_key, left_key) in _ORDER_LE
+    if le and operator == "<=":
+        return Tri.TRUE
+    if le and operator == ">":
+        return Tri.FALSE
+    if ge and operator == ">=":
+        return Tri.TRUE
+    if ge and operator == "<":
+        return Tri.FALSE
+    return Tri.UNKNOWN
+
+
+def _compare(comparison: Comparison, env: Env,
+             constants: Mapping[str, float]) -> Tri:
+    left = _eval_expr(comparison.left, env, constants)
+    right = _eval_expr(comparison.right, env, constants)
+    verdict = _compare_intervals(comparison.operator, left, right)
+    if verdict is Tri.UNKNOWN:
+        left_key = canonical_ref(comparison.left)
+        right_key = canonical_ref(comparison.right)
+        if left_key is not None and right_key is not None:
+            verdict = _relational_fact(comparison.operator, left_key,
+                                       right_key)
+    return verdict
+
+
+# ----------------------------------------------------------------------
+# Conjunction refinement
+# ----------------------------------------------------------------------
+def _flatten_conjuncts(condition: Condition) -> list:
+    if isinstance(condition, AndCond):
+        return (_flatten_conjuncts(condition.left)
+                + _flatten_conjuncts(condition.right))
+    return [condition]
+
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+            "==": "==", "!=": "!="}
+
+
+def _bound_from(operator: str, value: Interval) -> Interval:
+    """The interval implied for ``x`` by ``x OP value``."""
+    if operator == "<":
+        return Interval(-_INF, value.hi)   # closed approximation of <
+    if operator == "<=":
+        return Interval(-_INF, value.hi)
+    if operator == ">":
+        return Interval(value.lo, _INF)
+    if operator == ">=":
+        return Interval(value.lo, _INF)
+    if operator == "==":
+        return value
+    return TOP  # != refines nothing representable
+
+
+def _refine(conjuncts: list, env: Env,
+            constants: Mapping[str, float]) -> Tuple[Env, bool]:
+    """Narrow identifier intervals using var-vs-expression conjuncts.
+
+    The closed approximation of strict bounds only ever keeps *more*
+    valuations, so refinement-based unsatisfiability stays sound; the
+    strict edge cases (``maxSize < 0``) fall out of the comparison
+    evaluation that follows refinement.
+
+    Returns the refined environment and whether refinement proved the
+    conjunction unsatisfiable (some interval became empty).
+    """
+    env = dict(env)
+    for _ in range(2):  # two passes reach a fixpoint for var-vs-const
+        for conjunct in conjuncts:
+            if not isinstance(conjunct, Comparison):
+                continue
+            for expr, operator, other in (
+                    (conjunct.left, conjunct.operator, conjunct.right),
+                    (conjunct.right, _FLIPPED[conjunct.operator],
+                     conjunct.left)):
+                key = canonical_ref(expr)
+                if key is None:
+                    continue
+                value = _eval_expr(other, env, constants)
+                if value.is_empty:
+                    return env, True
+                current = env.get(key, base_interval(key))
+                refined = current.intersect(_bound_from(operator, value))
+                if refined.is_empty:
+                    env[key] = refined
+                    return env, True
+                env[key] = refined
+    return env, False
+
+
+def _analyze(condition: Condition, env: Env,
+             constants: Mapping[str, float], refine: bool) -> Tri:
+    """Three-valued evaluation.
+
+    With ``refine`` the analysis narrows intervals from conjuncts first,
+    which strengthens FALSE (unsatisfiability) verdicts but would make
+    TRUE verdicts circular (every conjunct is "true" once assumed), so
+    tautology detection runs with ``refine=False``.
+    """
+    if isinstance(condition, Comparison):
+        return _compare(condition, env, constants)
+    if isinstance(condition, OrCond):
+        return _tri_or(_analyze(condition.left, env, constants, refine),
+                       _analyze(condition.right, env, constants, refine))
+    if isinstance(condition, NotCond):
+        # Refinement assumptions do not negate soundly; re-analyze the
+        # operand without them.
+        return _tri_not(_analyze(condition.operand, env, constants,
+                                 refine=False))
+    if isinstance(condition, AndCond):
+        conjuncts = _flatten_conjuncts(condition)
+        scoped = env
+        if refine:
+            scoped, contradiction = _refine(conjuncts, env, constants)
+            if contradiction:
+                return Tri.FALSE
+        verdict = Tri.TRUE
+        for conjunct in conjuncts:
+            verdict = _tri_and(verdict, _analyze(conjunct, scoped,
+                                                 constants, refine))
+            if verdict is Tri.FALSE:
+                return Tri.FALSE
+        return verdict
+    return Tri.UNKNOWN
+
+
+@dataclass(frozen=True)
+class ConditionAnalysis:
+    """Outcome of interval analysis over one rule condition."""
+
+    verdict: Tri
+    """TRUE = tautological, FALSE = unsatisfiable, UNKNOWN = contingent."""
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.verdict is not Tri.FALSE
+
+    @property
+    def tautological(self) -> bool:
+        return self.verdict is Tri.TRUE
+
+
+def analyze_condition(condition: Condition,
+                      constants: Optional[Mapping[str, float]] = None,
+                      env: Optional[Mapping[str, Interval]] = None,
+                      ) -> ConditionAnalysis:
+    """Analyze one condition under the interval domain.
+
+    Args:
+        condition: A parsed rule condition.
+        constants: Bindings for the symbolic constants (unknown names
+            degrade to TOP; the rule checker reports them separately).
+        env: Optional interval overrides per canonical identifier
+            (defaults to the non-negative base domain).
+    """
+    environment: Env = dict(env or {})
+    bound = dict(constants or {})
+    # Unsatisfiability runs with conjunct refinement (stronger FALSE);
+    # tautology runs without it (a refined TRUE would be circular).
+    if _analyze(condition, environment, bound, refine=True) is Tri.FALSE:
+        return ConditionAnalysis(Tri.FALSE)
+    if _analyze(condition, environment, bound, refine=False) is Tri.TRUE:
+        return ConditionAnalysis(Tri.TRUE)
+    return ConditionAnalysis(Tri.UNKNOWN)

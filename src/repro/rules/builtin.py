@@ -19,8 +19,9 @@ paper's tunable thresholds.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.rules.ast import Rule
 from repro.rules.parser import parse_rule
@@ -39,14 +40,27 @@ class RuleSpec:
     message: str
     requires_stable_size: bool = False
     space_gated: bool = False
+    origin: Optional[Tuple[str, int]] = None
+    """``(file, line)`` where the rule was defined, when known -- set by
+    :meth:`parse` from its caller and by rule-file loading, so lint
+    findings carry real spans."""
 
     @classmethod
     def parse(cls, name: str, text: str, category: RuleCategory,
               message: str, requires_stable_size: bool = False,
               space_gated: bool = False) -> "RuleSpec":
-        """Parse ``text`` and wrap it with metadata."""
+        """Parse ``text`` and wrap it with metadata.
+
+        The caller's source position is recorded as the spec's origin
+        (builtin rules thereby point into ``builtin.py``).
+        """
+        try:
+            caller = sys._getframe(1)
+            origin = (caller.f_code.co_filename, caller.f_lineno)
+        except ValueError:  # pragma: no cover - no caller frame
+            origin = None
         return cls(name, parse_rule(text), category, message,
-                   requires_stable_size, space_gated)
+                   requires_stable_size, space_gated, origin=origin)
 
 
 DEFAULT_CONSTANTS: Dict[str, float] = {

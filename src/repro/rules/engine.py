@@ -45,7 +45,8 @@ class RuleEngine:
                  rules: Optional[Iterable[RuleSpec]] = None,
                  constants: Optional[Mapping[str, float]] = None,
                  stability: Optional[StabilityPolicy] = None,
-                 min_potential_bytes: int = 512) -> None:
+                 min_potential_bytes: int = 512,
+                 validate: bool = True) -> None:
         self.rules: List[RuleSpec] = list(rules) if rules is not None \
             else builtin_rules()
         self.constants: Dict[str, float] = dict(DEFAULT_CONSTANTS)
@@ -53,6 +54,15 @@ class RuleEngine:
             self.constants.update(constants)
         self.stability = stability or StabilityPolicy()
         self.min_potential_bytes = min_potential_bytes
+        if validate:
+            # Eager Layer 1 validation: a typo'd constant or a bogus
+            # replacement target is a named error *here*, not a raw
+            # KeyError when the rule first fires (or is applied).  The
+            # import is deferred to keep repro.rules importable without
+            # triggering the lint package (and vice versa).
+            from repro.lint.rule_checker import validate_rules
+
+            validate_rules(self.rules, self.constants)
 
     # ------------------------------------------------------------------
     # Evaluation

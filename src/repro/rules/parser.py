@@ -51,12 +51,55 @@ _ADVICE_ACTIONS = {
 
 
 class ParseError(ValueError):
-    """Raised on syntactically or semantically malformed rules."""
+    """Raised on syntactically or semantically malformed rules.
 
-    def __init__(self, message: str, token: Token) -> None:
-        super().__init__(f"{message} (near {token.value!r} "
-                         f"at offset {token.position})")
+    Carries full position information: the offending token, its 1-based
+    ``line`` and ``column`` within the rule source, and -- when the
+    source text is available -- a caret-context ``snippet``::
+
+        expected '->' (line 1, column 21)
+          HashSet : maxSize < 2 ArraySet
+                              ^
+    """
+
+    def __init__(self, message: str, token: Token,
+                 source: Optional[str] = None) -> None:
         self.token = token
+        self.source = source
+        self.line, self.column = _line_and_column(source, token.position)
+        where = f"line {self.line}, column {self.column}"
+        if token.value:
+            where = f"near {token.value!r}, {where}"
+        rendered = f"{message} ({where})"
+        self.snippet = _caret_snippet(source, token.position)
+        if self.snippet:
+            rendered += "\n" + self.snippet
+        super().__init__(rendered)
+
+
+def _line_and_column(source: Optional[str], position: int):
+    """1-based (line, column) of a character offset in ``source``."""
+    if not source:
+        return 1, position + 1
+    clamped = max(0, min(position, len(source)))
+    line = source.count("\n", 0, clamped) + 1
+    line_start = source.rfind("\n", 0, clamped) + 1
+    return line, clamped - line_start + 1
+
+
+def _caret_snippet(source: Optional[str], position: int,
+                   indent: str = "  ") -> str:
+    """The offending source line with a ``^`` under the error column."""
+    if not source:
+        return ""
+    clamped = max(0, min(position, len(source)))
+    line_start = source.rfind("\n", 0, clamped) + 1
+    line_end = source.find("\n", line_start)
+    if line_end < 0:
+        line_end = len(source)
+    text_line = source[line_start:line_end]
+    caret_pad = " " * (clamped - line_start)
+    return f"{indent}{text_line}\n{indent}{caret_pad}^"
 
 
 class _Parser:
@@ -77,7 +120,8 @@ class _Parser:
 
     def expect(self, kind: str) -> Token:
         if self.current.kind != kind:
-            raise ParseError(f"expected {kind!r}", self.current)
+            raise ParseError(f"expected {kind!r}", self.current,
+                             self.text)
         return self.advance()
 
     def accept(self, *kinds: str) -> Optional[Token]:
@@ -91,7 +135,8 @@ class _Parser:
         self.expect(":")
         condition = self.parse_or()
         if not isinstance(condition, Condition):
-            raise ParseError("rule condition must be boolean", self.current)
+            raise ParseError("rule condition must be boolean",
+                             self.current, self.text)
         self.expect("->")
         action = self.parse_action()
         self.expect("EOF")
@@ -100,7 +145,8 @@ class _Parser:
     def parse_bare_condition(self) -> Condition:
         condition = self.parse_or()
         if not isinstance(condition, Condition):
-            raise ParseError("expected a boolean condition", self.current)
+            raise ParseError("expected a boolean condition",
+                             self.current, self.text)
         self.expect("EOF")
         return condition
 
@@ -186,7 +232,7 @@ class _Parser:
             inner = self.parse_or()
             self.expect(")")
             return inner
-        raise ParseError("expected an expression", token)
+        raise ParseError("expected an expression", token, self.text)
 
     # -- pieces -----------------------------------------------------------
     def _counter(self, token: Token,
@@ -195,13 +241,13 @@ class _Parser:
         body = name[1:]
         if body == "allOps":
             if variance:
-                raise ParseError("@allOps is not tracked", token)
+                raise ParseError("@allOps is not tracked", token, self.text)
             return DataRef("allOps")
         op = OP_BY_DSL_NAME.get("#" + body)
         if op is None:
             known = ", ".join(sorted(OP_BY_DSL_NAME))
             raise ParseError(f"unknown operation {name!r}; known: {known}",
-                             token)
+                             token, self.text)
         return OpVariance(op) if variance else OpCount(op)
 
     def parse_action(self) -> Action:
@@ -217,29 +263,32 @@ class _Parser:
                 capacity = CAPACITY_MAX_SIZE
             else:
                 raise ParseError("capacity must be an integer or 'maxSize'",
-                                 token)
+                                 token, self.text)
             self.expect(")")
         kind = _ADVICE_ACTIONS.get(name)
         if kind is ActionKind.SET_CAPACITY:
             if capacity is None:
                 raise ParseError("setCapacity requires a capacity argument",
-                                 self.current)
+                                 self.current, self.text)
             return Action(kind, capacity=capacity)
         if kind is not None:
             if capacity is not None:
-                raise ParseError(f"{name} takes no capacity", self.current)
+                raise ParseError(f"{name} takes no capacity",
+                                 self.current, self.text)
             return Action(kind)
         return Action(ActionKind.REPLACE, impl_name=name, capacity=capacity)
 
     # -- typing helpers -----------------------------------------------------
     def _as_cond(self, node: Union[Expr, Condition]) -> Condition:
         if not isinstance(node, Condition):
-            raise ParseError("expected a boolean operand", self.current)
+            raise ParseError("expected a boolean operand", self.current,
+                             self.text)
         return node
 
     def _as_expr(self, node: Union[Expr, Condition]) -> Expr:
         if not isinstance(node, Expr):
-            raise ParseError("expected an arithmetic operand", self.current)
+            raise ParseError("expected an arithmetic operand", self.current,
+                             self.text)
         return node
 
 

@@ -1,0 +1,158 @@
+"""Layer 3 drift report: static predictions vs a real profiled session.
+
+Profiles the tvla workload once (small scale, same pipeline as the
+experiment driver), caches the session the way ``--session-cache``
+does, and diffs it against the usage linter's predictions for
+``src/repro/workloads/tvla.py`` -- the acceptance scenario: at least
+one agreement, at least one static-only, at least one dynamic-only.
+"""
+
+import os
+
+import pytest
+
+from repro.core.chameleon import Chameleon, SessionCache
+from repro.core.config import ToolConfig
+from repro.lint.drift import (LINE_TOLERANCE, DriftEntry, drift_report,
+                              load_sessions)
+from repro.lint.findings import Severity
+from repro.lint.usage import StaticPrediction, lint_paths
+from repro.workloads.tvla import TvlaWorkload
+
+TVLA_SOURCE = os.path.join(os.path.dirname(__file__), os.pardir,
+                           os.pardir, "src", "repro", "workloads",
+                           "tvla.py")
+
+
+@pytest.fixture(scope="module")
+def tvla_session():
+    config = ToolConfig()
+    workload = TvlaWorkload(scale=0.1)
+    return Chameleon(config).profile(workload), config, workload
+
+
+@pytest.fixture(scope="module")
+def tvla_predictions():
+    _findings, predictions = lint_paths([TVLA_SOURCE])
+    return predictions
+
+
+class TestTvlaDrift:
+    def test_acceptance_shape(self, tvla_session, tvla_predictions):
+        session, _config, _workload = tvla_session
+        findings, entries = drift_report(tvla_predictions, [session])
+        by_status = {}
+        for entry in entries:
+            by_status.setdefault(entry.status, []).append(entry)
+        assert len(by_status.get("agreement", [])) >= 1
+        assert len(by_status.get("static-only", [])) >= 1
+        assert len(by_status.get("dynamic-only", [])) >= 1
+        assert {f.id for f in findings} == {
+            "L3-drift-agreement", "L3-static-only", "L3-dynamic-only"}
+
+    def test_random_access_agreement(self, tvla_session, tvla_predictions):
+        # tvla's trace log really is a LinkedList read with get(i): the
+        # static fact and the profiled rule must meet at that site.
+        session, _config, _workload = tvla_session
+        _findings, entries = drift_report(tvla_predictions, [session])
+        agreed = [e for e in entries if e.status == "agreement"
+                  and e.rule == "random-access-linked-list"]
+        assert agreed
+        assert agreed[0].location == "repro.workloads.tvla.run"
+        assert agreed[0].src_type == "LinkedList"
+
+    def test_small_map_is_dynamic_only(self, tvla_session,
+                                       tvla_predictions):
+        # The seven factory-made maps fire small-map, a purely
+        # threshold-dependent rule no syntactic fact can predict.
+        session, _config, _workload = tvla_session
+        _findings, entries = drift_report(tvla_predictions, [session])
+        dynamic_only = {e.rule for e in entries
+                        if e.status == "dynamic-only"}
+        assert "small-map" in dynamic_only
+
+    def test_severities(self, tvla_session, tvla_predictions):
+        session, _config, _workload = tvla_session
+        findings, _entries = drift_report(tvla_predictions, [session])
+        severity = {f.id: f.severity for f in findings}
+        assert severity["L3-drift-agreement"] is Severity.NOTE
+        assert severity["L3-static-only"] is Severity.WARNING
+        assert severity["L3-dynamic-only"] is Severity.NOTE
+
+    def test_session_cache_round_trip(self, tvla_session,
+                                      tvla_predictions, tmp_path):
+        # The CLI consumes --session-cache pickles; the drift report
+        # must be identical on the cached (vm=None) sessions.
+        session, config, workload = tvla_session
+        cache_path = tmp_path / "sessions.pkl"
+        cache = SessionCache()
+        cache.put(SessionCache.key(config, workload), session)
+        assert cache.save(str(cache_path)) == 1
+
+        loaded = load_sessions(str(cache_path))
+        assert len(loaded) == 1 and loaded[0].vm is None
+        _live, live_entries = drift_report(tvla_predictions, [session])
+        _cached, cached_entries = drift_report(tvla_predictions, loaded)
+        assert cached_entries == live_entries
+
+
+class TestMatchingRules:
+    def _prediction(self, line):
+        return StaticPrediction(
+            location="repro.workloads.x.run",
+            src_types=frozenset({"ArrayList"}),
+            predicted_rule="incremental-resizing",
+            finding_id="L2-growth-no-capacity",
+            file="x.py", line=line)
+
+    def _session(self, dynamic_line):
+        # A minimal stand-in with the one attribute shape drift reads.
+        class Frame:
+            location = "repro.workloads.x.run"
+            line = dynamic_line
+
+        class Key:
+            frames = (Frame(),)
+
+        class Profile:
+            key = Key()
+            src_type = "ArrayList"
+
+            @staticmethod
+            def render_context():
+                return f"ArrayList:repro.workloads.x.run:{dynamic_line}"
+
+        class Rule:
+            text = ("Collection : maxSize > initialCapacity "
+                    "& maxSize >= RESIZE_MIN -> setCapacity(maxSize)")
+
+        class Suggestion:
+            profile = Profile()
+            rule = Rule()
+            secondary = []
+
+        class Session:
+            suggestions = [Suggestion()]
+
+        return Session()
+
+    def test_line_proximity_separates_same_type_sites(self):
+        # Two same-type allocations in one function must not cross-match:
+        # the agreement only forms within the line tolerance.
+        near = drift_report([self._prediction(line=40)],
+                            [self._session(dynamic_line=40 + LINE_TOLERANCE)])
+        far = drift_report([self._prediction(line=40)],
+                           [self._session(dynamic_line=90)])
+        assert [e.status for e in near[1]] == ["agreement"]
+        assert sorted(e.status for e in far[1]) == [
+            "dynamic-only", "static-only"]
+
+    def test_unknown_line_does_not_discriminate(self):
+        report = drift_report([self._prediction(line=0)],
+                              [self._session(dynamic_line=90)])
+        assert [e.status for e in report[1]] == ["agreement"]
+
+    def test_empty_inputs(self):
+        findings, entries = drift_report([], [])
+        assert findings == [] and entries == []
+        assert DriftEntry("agreement", "loc", "ArrayList", "r").rule == "r"

@@ -1,0 +1,178 @@
+"""Interval domain: three-valued analysis of rule conditions.
+
+The hypothesis property at the bottom pins the domain's soundness
+contract against a concrete evaluator: a FALSE verdict means *no*
+admissible valuation satisfies the condition, a TRUE verdict means
+*every* one does.  Valuations are non-negative integers, matching the
+metric schema (every identifier is a count, size or byte aggregate).
+"""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.intervals import (EMPTY, Interval, NON_NEGATIVE, TOP, Tri,
+                                  analyze_condition, canonical_ref)
+from repro.rules.ast import (AndCond, BinaryOp, Comparison, NotCond,
+                             Number, OrCond)
+from repro.rules.parser import parse_condition
+
+
+def analyze(text, constants=None):
+    return analyze_condition(parse_condition(text), constants)
+
+
+class TestIntervalArithmetic:
+    def test_add(self):
+        assert Interval(1, 2) + Interval(3, 4) == Interval(4, 6)
+
+    def test_sub_flips_bounds(self):
+        assert Interval(1, 2) - Interval(3, 4) == Interval(-3, -1)
+
+    def test_mul_zero_absorbs_infinity(self):
+        assert Interval(0, 0) * TOP == Interval(0, 0)
+
+    def test_division_straddling_zero_is_top(self):
+        assert Interval(1, 2).divided_by(Interval(-1, 1)) == TOP
+
+    def test_intersect_empty(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+        assert EMPTY.is_empty and not NON_NEGATIVE.is_empty
+
+
+class TestUnsatisfiable:
+    def test_negative_bound(self):
+        assert analyze("maxSize < 0").verdict is Tri.FALSE
+        assert not analyze("maxSize < 0").satisfiable
+
+    def test_contradictory_conjunction(self):
+        assert analyze("maxSize == 0 & maxSize > 10").verdict is Tri.FALSE
+
+    def test_contradiction_through_constants(self):
+        verdict = analyze("maxSize < LO & maxSize > HI",
+                          constants={"LO": 5, "HI": 10}).verdict
+        assert verdict is Tri.FALSE
+
+    def test_point_contradiction(self):
+        assert analyze("#add == 3 & #add == 4").verdict is Tri.FALSE
+
+    def test_relational_fact_violation(self):
+        # deadInstances <= instances is a schema invariant.
+        assert analyze("instances < deadInstances").verdict is Tri.FALSE
+
+    def test_negated_tautology(self):
+        assert analyze("!(maxSize >= 0)").verdict is Tri.FALSE
+
+
+class TestTautology:
+    def test_non_negative_base(self):
+        analysis = analyze("maxSize >= 0")
+        assert analysis.verdict is Tri.TRUE and analysis.tautological
+
+    def test_relational_fact(self):
+        assert analyze("size <= maxSize").verdict is Tri.TRUE
+
+    def test_alias_equality(self):
+        # avgMaxSize is an alias of maxSize in the schema.
+        assert analyze("avgMaxSize == maxSize").verdict is Tri.TRUE
+
+    def test_disjunction_with_true_arm(self):
+        assert analyze("instances >= 0 | #add > 5").verdict is Tri.TRUE
+
+    def test_negated_unsat(self):
+        assert analyze("!(maxSize < 0)").verdict is Tri.TRUE
+
+
+class TestContingent:
+    def test_threshold_comparison(self):
+        analysis = analyze("maxSize < 12")
+        assert analysis.verdict is Tri.UNKNOWN
+        assert analysis.satisfiable and not analysis.tautological
+
+    def test_refined_conjunction_not_circular(self):
+        # Refinement assumes its own conjuncts; trusting it for TRUE
+        # would declare every satisfiable conjunction a tautology.
+        assert analyze("maxSize >= 5 & maxSize >= 3").verdict \
+            is Tri.UNKNOWN
+
+    def test_unknown_constant_degrades_to_top(self):
+        analysis = analyze("maxSize < NO_SUCH_CONSTANT")
+        assert analysis.verdict is Tri.UNKNOWN
+
+    def test_division_by_possibly_zero(self):
+        assert analyze("#add / #remove > 0").verdict is Tri.UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# Soundness property: interval verdicts vs a concrete evaluator
+# ----------------------------------------------------------------------
+_IDENTS = ("#add", "#contains", "instances", "initialCapacity",
+           "swaps", "liveCount")
+# None of these participate in _ORDER_LE facts or aliases with each
+# other, so independent valuations are admissible.
+_KEYS = {ident: canonical_ref(parse_condition(f"{ident} >= 0").left)
+         for ident in _IDENTS}
+
+_COMPARE = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+            ">=": operator.ge, "==": operator.eq, "!=": operator.ne}
+_ARITH = {"+": operator.add, "-": operator.sub, "*": operator.mul}
+
+
+def _concrete_expr(expr, valuation):
+    if isinstance(expr, Number):
+        return expr.value
+    key = canonical_ref(expr)
+    if key is not None:
+        return valuation[key]
+    assert isinstance(expr, BinaryOp)
+    return _ARITH[expr.operator](_concrete_expr(expr.left, valuation),
+                                 _concrete_expr(expr.right, valuation))
+
+
+def _concrete(condition, valuation):
+    if isinstance(condition, Comparison):
+        return _COMPARE[condition.operator](
+            _concrete_expr(condition.left, valuation),
+            _concrete_expr(condition.right, valuation))
+    if isinstance(condition, AndCond):
+        return (_concrete(condition.left, valuation)
+                and _concrete(condition.right, valuation))
+    if isinstance(condition, OrCond):
+        return (_concrete(condition.left, valuation)
+                or _concrete(condition.right, valuation))
+    assert isinstance(condition, NotCond)
+    return not _concrete(condition.operand, valuation)
+
+
+_atom = st.one_of(st.sampled_from(_IDENTS),
+                  st.integers(0, 8).map(str))
+_expr = st.one_of(
+    _atom,
+    st.builds("({} {} {})".format, _atom,
+              st.sampled_from(sorted(_ARITH)), _atom))
+_comparison = st.builds("{} {} {}".format, _expr,
+                        st.sampled_from(sorted(_COMPARE)), _expr)
+_condition = st.recursive(
+    _comparison,
+    lambda inner: st.one_of(
+        st.builds("({}) & ({})".format, inner, inner),
+        st.builds("({}) | ({})".format, inner, inner),
+        inner.map("!({})".format)),
+    max_leaves=4)
+_valuation = st.fixed_dictionaries(
+    {key: st.integers(0, 6) for key in _KEYS.values()})
+
+
+@settings(max_examples=300, deadline=None)
+@given(text=_condition, valuation=_valuation)
+def test_interval_verdicts_sound(text, valuation):
+    condition = parse_condition(text)
+    verdict = analyze_condition(condition, constants={}).verdict
+    actual = _concrete(condition, valuation)
+    if verdict is Tri.FALSE:
+        assert actual is False, (
+            f"{text!r} declared unsatisfiable but {valuation} satisfies it")
+    elif verdict is Tri.TRUE:
+        assert actual is True, (
+            f"{text!r} declared tautological but {valuation} falsifies it")

@@ -1,0 +1,66 @@
+"""Planted-defect suite: a rules file with one known defect per line.
+
+Pins the end-to-end Layer 1 path (``load_rules_file`` -> ``check_rules``)
+on the four defect classes the issue calls out, asserting both the
+finding id and the exact file/line span each is reported at.
+"""
+
+import os
+
+import pytest
+
+from repro.lint.findings import Severity
+from repro.lint.rule_checker import check_rules, load_rules_file
+from repro.rules.parser import ParseError
+
+RULES_FILE = os.path.join(os.path.dirname(__file__),
+                          "planted_defects.rules")
+
+# (finding id, line in planted_defects.rules, message fragment)
+PLANTED = [
+    ("L1-unknown-constant", 3, "NO_SUCH_CONST"),
+    ("L1-unsatisfiable", 4, "never fire"),
+    ("L1-shadowed-duplicate", 6, "duplicate of earlier rule"),
+    ("L1-unknown-impl", 7, "FrobMap"),
+]
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return check_rules(load_rules_file(RULES_FILE))
+
+
+def test_specs_carry_file_origins():
+    specs = load_rules_file(RULES_FILE)
+    assert [spec.origin for spec in specs] == [
+        (RULES_FILE, line) for line in (3, 4, 5, 6, 7)]
+    assert specs[0].name == "planted_defects:3"
+
+
+@pytest.mark.parametrize("finding_id,line,fragment", PLANTED)
+def test_each_planted_defect_is_reported(findings, finding_id, line,
+                                         fragment):
+    matching = [f for f in findings
+                if f.id == finding_id and f.span.line == line]
+    assert matching, (
+        f"{finding_id} not reported at {RULES_FILE}:{line}; got "
+        + ", ".join(f"{f.id}@{f.span.line}" for f in findings))
+    finding = matching[0]
+    assert finding.span.file == RULES_FILE
+    assert fragment in finding.message
+
+
+def test_planted_errors_are_errors(findings):
+    by_id = {f.id: f for f in findings}
+    for finding_id in ("L1-unknown-constant", "L1-unsatisfiable",
+                      "L1-unknown-impl", "L1-shadowed-duplicate"):
+        assert by_id[finding_id].severity is Severity.ERROR, finding_id
+
+
+def test_parse_error_carries_file_and_line(tmp_path):
+    path = tmp_path / "broken.rules"
+    path.write_text("// fine\nHashSet : maxSize < 2 ArraySet\n")
+    with pytest.raises(ParseError) as excinfo:
+        load_rules_file(str(path))
+    assert str(path) + ":2:" in str(excinfo.value)
+    assert excinfo.value.column == len("HashSet : maxSize < 2 ") + 1

@@ -1,0 +1,166 @@
+"""Layer 1 checker over the builtin Table 2 rule set and crafted sets."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.findings import RuleValidationError, Severity
+from repro.lint.intervals import analyze_condition
+from repro.lint.rule_checker import (check_rules, overlap_report,
+                                     validate_rules)
+from repro.rules.builtin import BUILTIN_RULES, DEFAULT_CONSTANTS, RuleSpec
+from repro.rules.suggestions import RuleCategory
+
+GOLDEN = os.path.join(os.path.dirname(__file__),
+                      "golden_builtin_overlap.txt")
+
+
+def spec(text, name="r"):
+    return RuleSpec.parse(name, text, RuleCategory.SPACE, "msg")
+
+
+def ids_of(findings):
+    return {finding.id for finding in findings}
+
+
+class TestBuiltinRuleHygiene:
+    """The shipped rule set must self-lint clean of errors."""
+
+    def test_no_errors(self):
+        findings = check_rules(BUILTIN_RULES)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors == []
+
+    def test_no_unsat_or_tautology(self):
+        found = ids_of(check_rules(BUILTIN_RULES))
+        assert "L1-unsatisfiable" not in found
+        assert "L1-tautology" not in found
+
+    def test_validate_rules_accepts_builtins(self):
+        validate_rules(BUILTIN_RULES)  # must not raise
+
+    @pytest.mark.parametrize(
+        "rule_spec", BUILTIN_RULES, ids=[s.name for s in BUILTIN_RULES])
+    def test_every_builtin_condition_satisfiable(self, rule_spec):
+        analysis = analyze_condition(rule_spec.rule.condition,
+                                     DEFAULT_CONSTANTS)
+        assert analysis.satisfiable, rule_spec.name
+        assert not analysis.tautological, rule_spec.name
+
+    @settings(max_examples=50, deadline=None)
+    @given(scale=st.integers(1, 8))
+    def test_satisfiability_stable_under_threshold_scaling(self, scale):
+        """Scaling every threshold preserves the constants' relative
+        order, so no builtin rule may become unsatisfiable."""
+        constants = {name: value * scale
+                     for name, value in DEFAULT_CONSTANTS.items()}
+        for rule_spec in BUILTIN_RULES:
+            analysis = analyze_condition(rule_spec.rule.condition,
+                                         constants)
+            assert analysis.satisfiable, (rule_spec.name, scale)
+
+    def test_golden_overlap_report(self):
+        """Pinned pairwise overlap/shadowing structure of the builtin
+        set.  Regenerate deliberately when the rules change:
+
+            PYTHONPATH=src python -c "
+            from repro.lint.rule_checker import overlap_report
+            from repro.rules.builtin import BUILTIN_RULES
+            print(overlap_report(BUILTIN_RULES), end='')" \\
+                > tests/lint/golden_builtin_overlap.txt
+        """
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        assert overlap_report(BUILTIN_RULES) == expected
+
+
+class TestReferenceChecks:
+    def test_unknown_constant(self):
+        findings = check_rules([spec("HashMap : maxSize < NOPE -> ArrayMap")])
+        assert "L1-unknown-constant" in ids_of(findings)
+
+    def test_unknown_data_identifier(self):
+        # The parser resolves unknown lowercase identifiers to ConstRef,
+        # so an off-schema DataRef can only come from an AST-built rule.
+        import dataclasses
+
+        from repro.rules.ast import Comparison, DataRef, Number
+
+        base = spec("HashMap : maxSize > 1 -> ArrayMap")
+        bad_rule = dataclasses.replace(
+            base.rule,
+            condition=Comparison(">", DataRef("frobCount"), Number(1.0)))
+        findings = check_rules([dataclasses.replace(base, rule=bad_rule)])
+        assert "L1-unknown-data" in ids_of(findings)
+
+    def test_validate_raises_on_fatal_only(self):
+        with pytest.raises(RuleValidationError):
+            validate_rules([spec("HashMap : maxSize < NOPE -> ArrayMap")])
+        # Unsatisfiable is a lint error but not a construction blocker.
+        validate_rules([spec("HashMap : maxSize < 0 -> ArrayMap")])
+
+
+class TestActionChecks:
+    def test_unknown_impl(self):
+        findings = check_rules([spec("HashMap : maxSize > 0 -> FrobMap")])
+        assert "L1-unknown-impl" in ids_of(findings)
+
+    def test_kind_mismatch(self):
+        findings = check_rules([spec("HashSet : maxSize > 0 -> ArrayMap")])
+        assert "L1-kind-mismatch" in ids_of(findings)
+
+    def test_unknown_src_type(self):
+        findings = check_rules([spec("FrobSet : maxSize > 0 -> ArraySet")])
+        assert "L1-unknown-src-type" in ids_of(findings)
+
+    def test_capacity_on_capacity_ignoring_impl(self):
+        findings = check_rules(
+            [spec("ArrayList : maxSize > 0 -> LinkedList(32)")])
+        assert "L1-capacity-ignored" in ids_of(findings)
+
+    def test_clean_rule_has_no_findings(self):
+        findings = check_rules(
+            [spec("HashMap : maxSize < SMALL_SIZE & maxSize > 0 "
+                  "-> ArrayMap")])
+        assert findings == []
+
+
+class TestOverlapChecks:
+    def test_exact_duplicate_with_conflicting_targets_is_error(self):
+        findings = check_rules([
+            spec("HashSet : maxSize < SMALL_SIZE -> ArraySet", name="a"),
+            spec("HashSet : maxSize < SMALL_SIZE -> LinkedHashSet",
+                 name="b")])
+        dup = [f for f in findings if f.id == "L1-shadowed-duplicate"]
+        assert len(dup) == 1
+        assert dup[0].severity is Severity.ERROR
+        assert dup[0].rule_name == "b"
+
+    def test_exact_duplicate_same_target_is_warning(self):
+        findings = check_rules([
+            spec("HashSet : maxSize < SMALL_SIZE -> ArraySet", name="a"),
+            spec("HashSet : maxSize < SMALL_SIZE -> ArraySet", name="b")])
+        dup = [f for f in findings if f.id == "L1-shadowed-duplicate"]
+        assert dup and dup[0].severity is Severity.WARNING
+
+    def test_overlap_with_conflicting_targets(self):
+        findings = check_rules([
+            spec("HashSet : maxSize < SMALL_SIZE -> ArraySet", name="a"),
+            spec("HashSet : maxSize < LARGE_SIZE -> LinkedHashSet",
+                 name="b")])
+        assert "L1-overlap-conflict" in ids_of(findings)
+
+    def test_disjoint_conditions_do_not_overlap(self):
+        findings = check_rules([
+            spec("HashSet : maxSize == 0 -> LazySet", name="a"),
+            spec("HashSet : maxSize > 0 & maxSize < SMALL_SIZE "
+                 "-> ArraySet", name="b")])
+        assert not any(f.id.startswith("L1-overlap") for f in findings)
+
+    def test_disjoint_types_do_not_overlap(self):
+        findings = check_rules([
+            spec("HashSet : maxSize < SMALL_SIZE -> ArraySet", name="a"),
+            spec("HashMap : maxSize < SMALL_SIZE -> ArrayMap", name="b")])
+        assert not any(f.id.startswith("L1-overlap") for f in findings)

@@ -6,6 +6,7 @@ from repro.collections.base import CollectionKind
 from repro.profiler.stability import StabilityPolicy
 from repro.rules.builtin import DEFAULT_CONSTANTS, RuleSpec
 from repro.rules.engine import RuleEngine
+from repro.lint.findings import RuleValidationError
 from repro.rules.evaluator import EvaluationError
 from repro.rules.suggestions import RuleCategory
 
@@ -88,12 +89,15 @@ class TestGating:
 
 class TestPriorityAndRanking:
     def test_first_match_is_primary(self):
+        # Two registered list targets: eager validation admits them, and
+        # first-match priority decides which becomes primary.
         engine = RuleEngine(rules=[
-            spec("ArrayList : instances > 0 -> First", name="a"),
-            spec("ArrayList : instances > 0 -> Second", name="b")])
+            spec("ArrayList : instances > 0 -> LinkedList", name="a"),
+            spec("ArrayList : instances > 0 -> SingletonList", name="b")])
         suggestion = engine.evaluate_context(make_profile(sizes=[1]))
-        assert suggestion.action.impl_name == "First"
-        assert [s.action.impl_name for s in suggestion.secondary] == ["Second"]
+        assert suggestion.action.impl_name == "LinkedList"
+        assert [s.action.impl_name
+                for s in suggestion.secondary] == ["SingletonList"]
 
     def test_evaluate_ranks_by_potential(self):
         engine = RuleEngine(rules=[
@@ -128,10 +132,29 @@ class TestConstants:
         assert "CONTAINS_HEAVY" in engine.constants
 
     def test_unbound_constant_is_configuration_error(self):
+        # Eager Layer 1 validation: the typo is a named error at engine
+        # construction, not an EvaluationError when the rule first fires.
+        with pytest.raises(RuleValidationError) as excinfo:
+            RuleEngine(rules=[
+                spec("ArrayList : maxSize < NOT_BOUND -> ArraySet")])
+        assert "NOT_BOUND" in str(excinfo.value)
+        assert any(f.id == "L1-unknown-constant"
+                   for f in excinfo.value.findings)
+
+    def test_unbound_constant_still_evaluates_unvalidated(self):
         engine = RuleEngine(rules=[
-            spec("ArrayList : maxSize < NOT_BOUND -> ArraySet")])
+            spec("ArrayList : maxSize < NOT_BOUND -> ArraySet")],
+            validate=False)
         with pytest.raises(EvaluationError):
             engine.evaluate_context(make_profile(sizes=[1]))
+
+    def test_bogus_replacement_target_is_construction_error(self):
+        with pytest.raises(RuleValidationError) as excinfo:
+            RuleEngine(rules=[
+                spec("HashMap : maxSize > 0 -> FrobMap")])
+        assert any(f.id == "L1-unknown-impl"
+                   for f in excinfo.value.findings)
+        assert "FrobMap" in str(excinfo.value)
 
 
 class TestCapacityResolution:

@@ -84,6 +84,7 @@ class TestExpressions:
         with pytest.raises(ParseError) as excinfo:
             parse_condition("#frobnicate > 1")
         assert "known" in str(excinfo.value)
+        assert "line 1, column 1" in str(excinfo.value)
 
     def test_arithmetic_precedence(self):
         condition = parse_condition("1 + 2 * 3 == 7")
@@ -170,3 +171,39 @@ class TestActionErrors:
     def test_missing_arrow_rejected(self):
         with pytest.raises(ParseError):
             parse_rule("HashSet : maxSize < 2 ArraySet")
+
+
+class TestErrorPositions:
+    """ParseError carries line/column and a caret-context snippet."""
+
+    def test_position_attributes(self):
+        source = "HashSet : maxSize < 2 ArraySet"
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule(source)
+        error = excinfo.value
+        assert error.line == 1
+        assert error.column == source.index("ArraySet") + 1
+        assert error.source == source
+        assert f"near 'ArraySet', line 1, column {error.column}" \
+            in str(error)
+
+    def test_caret_snippet_points_at_offender(self):
+        source = "HashSet : maxSize < 2 ArraySet"
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule(source)
+        error = excinfo.value
+        snippet_lines = error.snippet.splitlines()
+        assert snippet_lines[0] == "  " + source
+        assert snippet_lines[1].index("^") - 2 == error.column - 1
+        assert error.snippet in str(error)
+
+    def test_column_on_later_token(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_condition("maxSize > #frobnicate")
+        assert excinfo.value.column == len("maxSize > ") + 1
+
+    def test_multiline_source_reports_correct_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_condition("maxSize > 1\n& #frobnicate > 0")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
