@@ -10,6 +10,7 @@ fall -- against the paper's reported numbers, which are recorded here in
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,7 +33,7 @@ __all__ = [
     "run_fig2", "run_fig3", "run_fig6", "run_fig7", "run_fig8",
     "run_online", "run_hybrid_ablation", "run_profiling_overhead",
     "run_all", "OverheadResult", "get_session_cache",
-    "reset_session_cache",
+    "reset_session_cache", "load_session_cache", "spill_session_cache",
 ]
 
 # ---------------------------------------------------------------------------
@@ -96,6 +97,47 @@ def get_session_cache() -> SessionCache:
 def reset_session_cache() -> None:
     """Drop every cached session and zero the counters."""
     _SESSION_CACHE.clear()
+
+
+def _spill_is_store(path: str) -> bool:
+    """Whether a ``--session-cache`` path means the content-addressed
+    per-entry store (a directory) rather than the legacy single pickle.
+
+    An existing path decides by what it is; a fresh path defaults to the
+    store unless it carries an explicit pickle suffix, so old
+    ``sessions.pkl`` invocations keep their format.
+    """
+    if os.path.isdir(path):
+        return True
+    if os.path.isfile(path):
+        return False
+    if path.endswith(("/", os.sep)):
+        return True
+    return not path.endswith((".pkl", ".pickle"))
+
+
+def load_session_cache(path: str) -> int:
+    """Reload spilled sessions into this process's cache from ``path``
+    -- a content-addressed :class:`~repro.analysis.index.SessionStore`
+    directory (the default, e.g. ``benchmarks/runs/store``) or a legacy
+    ``*.pkl`` single-pickle spill.  Returns entries added; corrupt
+    spills load as empty with a warning."""
+    if _spill_is_store(path):
+        from repro.analysis.index import SessionStore
+
+        return SessionStore(path).load_cache(_SESSION_CACHE)
+    return _SESSION_CACHE.load(path)
+
+
+def spill_session_cache(path: str) -> int:
+    """Spill this process's session cache to ``path`` (store directory
+    or legacy ``*.pkl``; see :func:`load_session_cache`).  Returns the
+    store's newly written entry count, or the legacy spill's total."""
+    if _spill_is_store(path):
+        from repro.analysis.index import SessionStore
+
+        return SessionStore(path).save_cache(_SESSION_CACHE)
+    return _SESSION_CACHE.save(path)
 
 
 def _tool(config: Optional[ToolConfig] = None) -> Chameleon:

@@ -38,9 +38,13 @@ __all__ = ["Job", "JobGraph", "JobError", "Scheduler"]
 
 #: Hash seed exported into every worker's environment.  A forked worker
 #: already shares the parent's live hash seed (that is what keeps worker
-#: runs identical to the serial reference); the export pins any *further*
-#: interpreters a job might launch, and covers spawn-style pools where
-#: the env reaches the worker before interpreter startup.
+#: runs identical to the serial reference); the export only pins any
+#: *further* interpreters a job might launch (grandchildren).  It cannot
+#: pin a spawn-style worker's own hashing: the pool initializer runs
+#: after interpreter startup, by which point the hash seed is fixed.
+#: Spawn-style pools are therefore only allowed when the whole program
+#: was launched under a fixed ``PYTHONHASHSEED`` (see
+#: :meth:`Scheduler._ensure_pool`).
 WORKER_HASHSEED = "2009"
 
 
@@ -167,8 +171,27 @@ class Scheduler:
     def _ensure_pool(self):
         if self._pool is None:
             methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None)
+            if "fork" in methods:
+                # Forked workers share the parent's live hash seed, so
+                # worker runs match the serial reference unconditionally.
+                context = multiprocessing.get_context("fork")
+            else:
+                # Spawn-style workers re-run interpreter startup, which
+                # fixes their hash seed from the *environment* -- the
+                # pool initializer runs afterwards and cannot pin it.
+                # Unless the whole program (parent included) is running
+                # under a fixed PYTHONHASHSEED, jobs>1 results would
+                # silently diverge from the serial reference, so fail
+                # fast instead.
+                if os.environ.get("PYTHONHASHSEED") is None:
+                    raise RuntimeError(
+                        "Scheduler(jobs>1) needs the 'fork' start method "
+                        "or a program launched under a fixed "
+                        "PYTHONHASHSEED: spawned workers fix their hash "
+                        "seed at interpreter startup, before the pool "
+                        "initializer runs, so worker tick counts could "
+                        "silently diverge from the serial reference")
+                context = multiprocessing.get_context()
             self._pool = context.Pool(
                 processes=self.jobs,
                 initializer=_pool_initializer,
@@ -176,7 +199,18 @@ class Scheduler:
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Graceful shutdown (idempotent): waits for outstanding work
+        and lets workers run their cleanup (atexit hooks, coverage
+        flushes) instead of killing them mid-write."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown (idempotent): kill workers without waiting.
+        Reserved for the error path -- on the happy path use
+        :meth:`close` so workers are not killed mid-cleanup."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -185,8 +219,11 @@ class Scheduler:
     def __enter__(self) -> "Scheduler":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
 
     # ------------------------------------------------------------------
     # Execution

@@ -11,9 +11,13 @@ Examples::
     chameleon-repro optimize findbugs
     chameleon-repro online pmd --scale 0.3
     chameleon-repro experiment fig6 --scale 0.4 --jobs 4
-    chameleon-repro experiment all --jobs 4 --session-cache /tmp/sessions.pkl
+    chameleon-repro experiment all --jobs 4 \\
+        --session-cache benchmarks/runs/store
     chameleon-repro perf --scale 0.2 --repeats 3
     chameleon-repro perf --suite --jobs 4
+    chameleon-repro perf --gate --gate-window 5
+    chameleon-repro history
+    chameleon-repro history tvla_capture_on --last 10
     chameleon-repro fuzz --adt all --seeds 50
     chameleon-repro fuzz --record tvla --scale 0.05
     chameleon-repro lint --paths src/repro/workloads --format sarif \\
@@ -26,7 +30,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis import experiments
@@ -36,7 +42,13 @@ from repro.core.online import OnlineChameleon
 from repro.rules.engine import RuleEngine
 from repro.workloads import default_workload_registry
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "default_runs_root"]
+
+
+def default_runs_root() -> str:
+    """Where run directories and ``runs.sqlite`` live by default."""
+    return str(pathlib.Path(__file__).resolve().parents[2]
+               / "benchmarks" / "runs")
 
 _EXPERIMENTS = {
     "fig2": lambda args, sch: experiments.run_fig2(
@@ -118,7 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  "scheduler (1 = serial reference path)")
     experiment.add_argument("--session-cache", metavar="PATH", default=None,
                             help="spill the profiling-session cache here "
-                                 "and reload it on later invocations")
+                                 "and reload it on later invocations; a "
+                                 "directory (e.g. benchmarks/runs/store) "
+                                 "uses the content-addressed per-entry "
+                                 "store, a *.pkl path the legacy single "
+                                 "pickle")
+    experiment.add_argument("--runs-root", metavar="DIR", default=None,
+                            help="write the manifest'd run directory and "
+                                 "index the run here (default "
+                                 "benchmarks/runs)")
+    experiment.add_argument("--no-index", action="store_true",
+                            help="skip writing a run directory and "
+                                 "indexing this invocation")
 
     perf = sub.add_parser(
         "perf", help="wall-clock perf harness; emits BENCH_chameleon.json")
@@ -135,7 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--check", metavar="PATH", default=None,
                       help="validate an existing BENCH json and exit")
     perf.add_argument("--baseline", metavar="PATH", default=None,
-                      help="compare against a previous BENCH json")
+                      help="compare against a previous BENCH json "
+                           "(single-file; prefer --gate, which compares "
+                           "against the whole indexed history)")
+    perf.add_argument("--gate", action="store_true",
+                      help="fail (non-zero) when a benchmark's wall "
+                           "clock regresses past the median of its "
+                           "indexed history; refuses tick-diverged "
+                           "history like --baseline")
+    perf.add_argument("--gate-window", type=int, default=5, metavar="N",
+                      help="indexed runs per benchmark the gate medians "
+                           "over (default 5)")
+    perf.add_argument("--gate-threshold", type=float, default=0.3,
+                      metavar="F",
+                      help="allowed wall-clock growth over the median "
+                           "before the gate fails (default 0.3 = +30%%)")
+    perf.add_argument("--runs-root", metavar="DIR", default=None,
+                      help="write the manifest'd run directory and index "
+                           "the run here (default benchmarks/runs)")
+    perf.add_argument("--no-index", action="store_true",
+                      help="skip writing a run directory and indexing "
+                           "this invocation")
     perf.add_argument("--suite", action="store_true",
                       help="also benchmark the experiment scheduler "
                            "(fig6+fig7 serial vs parallel)")
@@ -145,6 +188,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="workload scale for the --suite section")
     perf.add_argument("--suite-resolution", type=int, default=16384,
                       help="min-heap resolution for the --suite section")
+
+    history = sub.add_parser(
+        "history", help="query the cross-run index: per-benchmark "
+                        "trends, one benchmark's series, or ingest an "
+                        "existing BENCH document")
+    history.add_argument("benchmark", nargs="?", default=None,
+                         help="benchmark name to print the indexed "
+                              "series for (default: trend summary of "
+                              "every benchmark)")
+    history.add_argument("--runs-root", metavar="DIR", default=None,
+                         help="runs root holding runs.sqlite (default "
+                              "benchmarks/runs)")
+    history.add_argument("--last", type=int, default=None, metavar="N",
+                         help="limit a benchmark series to the newest N "
+                              "rows")
+    history.add_argument("--window", type=int, default=5, metavar="N",
+                         help="runs the trend summary medians over "
+                              "(default 5)")
+    history.add_argument("--ingest", metavar="BENCH_JSON", default=None,
+                         help="index an existing BENCH document as a new "
+                              "run (seeds gating history, e.g. in CI)")
 
     lint = sub.add_parser(
         "lint", help="static analysis: check rule sets, lint collection "
@@ -156,8 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Python files/directories to lint for "
                            "collection usage")
     lint.add_argument("--drift", metavar="SESSION", default=None,
-                      help="session-cache pickle (see 'experiment "
-                           "--session-cache') to diff static predictions "
+                      help="session-cache spill (see 'experiment "
+                           "--session-cache'; a store directory or a "
+                           "legacy pickle) to diff static predictions "
                            "against")
     lint.add_argument("--format", choices=["text", "json", "sarif"],
                       default="text", help="report format (default text)")
@@ -265,22 +330,67 @@ def _cmd_histogram(args) -> str:
             + render_histogram(rows, limit=args.limit))
 
 
+def _index_invocation(args, kind: str, command: List[str],
+                      params: dict, results: dict, artifacts: dict,
+                      wall_seconds: float,
+                      benchmarks: Optional[List[dict]] = None):
+    """Write this invocation's run directory and upsert it into the
+    cross-run index; returns ``(run_id, runs_root)``.
+
+    ``artifacts`` maps file name to text content; ``benchmarks`` (BENCH-
+    record-shaped dicts) become one indexed row each.
+    """
+    from repro.analysis.index import RunDirectory, RunIndex
+
+    runs_root = args.runs_root or default_runs_root()
+    run = RunDirectory.create(runs_root, kind, command=command,
+                              params=params,
+                              config_fingerprint=ToolConfig().fingerprint())
+    for name, text in artifacts.items():
+        run.add_artifact(name, text)
+    manifest_path = run.finalize(results=results, wall_seconds=wall_seconds)
+    with RunIndex.at_root(runs_root) as index:
+        index.record_run(run.manifest, manifest_path=manifest_path)
+        for record in benchmarks or []:
+            index.record_benchmark(run.run_id, record)
+    return run.run_id, runs_root
+
+
 def _cmd_experiment(args) -> str:
     from repro.analysis.scheduler import Scheduler
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     if args.session_cache:
-        experiments.get_session_cache().load(args.session_cache)
+        experiments.load_session_cache(args.session_cache)
+    start = time.perf_counter()
     with Scheduler(jobs=args.jobs) as scheduler:
         output = _EXPERIMENTS[args.name](args, scheduler)
+    wall_seconds = time.perf_counter() - start
     if args.session_cache:
-        experiments.get_session_cache().save(args.session_cache)
+        experiments.spill_session_cache(args.session_cache)
+    if not args.no_index:
+        cache = experiments.get_session_cache()
+        run_id, _ = _index_invocation(
+            args, "experiment", ["experiment", args.name],
+            params={"name": args.name, "scale": args.scale,
+                    "resolution": args.resolution, "jobs": args.jobs},
+            results={"wall_seconds": wall_seconds,
+                     "cache_hits": cache.hits,
+                     "cache_misses": cache.misses},
+            artifacts={"output.txt": output + "\n"},
+            wall_seconds=wall_seconds,
+            # Experiment wall clocks have no tick identity (many runs
+            # fold into one number), so the row carries ticks=None and
+            # is never gate-compared against perf benchmarks.
+            benchmarks=[{"name": f"experiment:{args.name}",
+                         "wall_seconds": wall_seconds}])
+        output += f"\n\nindexed run {run_id}"
     return output
 
 
 def _cmd_perf(args) -> str:
-    import pathlib
+    import json
 
     from repro.analysis import perf
 
@@ -291,12 +401,17 @@ def _cmd_perf(args) -> str:
             raise SystemExit(f"{args.check}: {exc}")
         return f"{args.check}: valid {perf.SCHEMA} v{perf.SCHEMA_VERSION}"
 
+    if args.gate and args.no_index:
+        raise SystemExit("--gate needs the index; drop --no-index")
+
+    start = time.perf_counter()
     doc = perf.run_suite(scale=args.scale, repeats=args.repeats,
                          seed=args.seed,
                          include_gc_heavy=not args.no_gc_heavy,
                          suite_jobs=args.jobs if args.suite else None,
                          suite_scale=args.suite_scale,
                          suite_resolution=args.suite_resolution)
+    wall_seconds = time.perf_counter() - start
     output = args.output
     if output is None:
         output = pathlib.Path(__file__).resolve().parents[2] \
@@ -304,6 +419,26 @@ def _cmd_perf(args) -> str:
     pathlib.Path(output).parent.mkdir(parents=True, exist_ok=True)
     perf.write_document(doc, str(output))
     parts = [perf.render_summary(doc), "", f"wrote {output}"]
+
+    run_id = None
+    runs_root = None
+    if not args.no_index:
+        run_id, runs_root = _index_invocation(
+            args, "perf", ["perf"],
+            params={"scale": args.scale, "seed": args.seed,
+                    "repeats": args.repeats,
+                    "suite_jobs": args.jobs if args.suite else None},
+            results={"benchmarks": {r["name"]: r["wall_seconds"]
+                                    for r in doc["benchmarks"]},
+                     "ticks": {r["name"]: r["ticks"]
+                               for r in doc["benchmarks"]}},
+            artifacts={"BENCH_chameleon.json":
+                       json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                       "summary.txt": perf.render_summary(doc) + "\n"},
+            wall_seconds=wall_seconds,
+            benchmarks=doc["benchmarks"])
+        parts.append(f"indexed run {run_id} under {runs_root}")
+
     if args.baseline is not None:
         baseline_doc = perf.load_document(args.baseline)
         diverged = perf.tick_divergences(baseline_doc, doc)
@@ -320,7 +455,70 @@ def _cmd_perf(args) -> str:
         parts.append(f"vs baseline {args.baseline}:")
         for name, ratio in sorted(ratios.items()):
             parts.append(f"  {name:<20} {ratio:.2f}x wall clock")
+
+    if args.gate:
+        from repro.analysis.index import (GateDivergenceError, RunIndex,
+                                          gate_document)
+
+        with RunIndex.at_root(runs_root) as index:
+            try:
+                report = gate_document(
+                    index, doc, window=args.gate_window,
+                    threshold=args.gate_threshold, exclude_run=run_id)
+            except GateDivergenceError as exc:
+                raise SystemExit(
+                    f"cannot gate against {index.path}: {exc}")
+        parts.append("")
+        parts.append(report.render())
+        if not report.ok:
+            print("\n".join(parts))
+            raise SystemExit(1)
     return "\n".join(parts)
+
+
+def _cmd_history(args) -> str:
+    from repro.analysis import perf
+    from repro.analysis.index import (RunDirectory, RunIndex,
+                                      render_history, render_trends)
+
+    runs_root = args.runs_root or default_runs_root()
+    if args.ingest is not None:
+        import json
+
+        try:
+            doc = perf.load_document(args.ingest)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"{args.ingest}: {exc}")
+        run = RunDirectory.create(
+            runs_root, "perf", command=["history", "--ingest"],
+            params={"scale": doc["scale"], "seed": doc["seed"],
+                    "repeats": doc["repeats"], "ingested_from": args.ingest},
+            config_fingerprint=ToolConfig().fingerprint())
+        run.add_artifact("BENCH_chameleon.json",
+                         json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        manifest_path = run.finalize(
+            results={"benchmarks": {r["name"]: r["wall_seconds"]
+                                    for r in doc["benchmarks"]}},
+            wall_seconds=0.0)
+        with RunIndex.at_root(runs_root) as index:
+            index.record_run(run.manifest, manifest_path=manifest_path)
+            rows = index.index_perf_document(run.run_id, doc)
+        return (f"ingested {args.ingest} as run {run.run_id} "
+                f"({rows} benchmark row(s))")
+
+    import os
+
+    from repro.analysis.index import INDEX_NAME
+
+    db_path = os.path.join(runs_root, INDEX_NAME)
+    if not os.path.exists(db_path):
+        raise SystemExit(
+            f"no index at {db_path}; run 'perf' or 'experiment' first "
+            f"(or point --runs-root at an existing runs root)")
+    with RunIndex.at_root(runs_root) as index:
+        if args.benchmark is not None:
+            return render_history(index, args.benchmark, last=args.last)
+        return render_trends(index, window=args.window)
 
 
 def _cmd_lint(args) -> str:
@@ -426,6 +624,7 @@ _COMMANDS = {
     "histogram": _cmd_histogram,
     "experiment": _cmd_experiment,
     "perf": _cmd_perf,
+    "history": _cmd_history,
     "lint": _cmd_lint,
     "fuzz": _cmd_fuzz,
 }

@@ -185,9 +185,17 @@ def drift_report(predictions: Sequence[StaticPrediction],
 
 
 def load_sessions(path: str) -> List:
-    """Load every cached session from a ``SessionCache.save`` pickle."""
+    """Load every cached session from a session-cache spill: either a
+    content-addressed :class:`~repro.analysis.index.SessionStore`
+    directory (e.g. ``benchmarks/runs/store``) or a legacy
+    ``SessionCache.save`` single pickle."""
+    import os
     import pickle
 
+    if os.path.isdir(path):
+        from repro.analysis.index import SessionStore
+
+        return SessionStore(path).sessions()
     with open(path, "rb") as handle:
         entries = pickle.load(handle)
     if isinstance(entries, dict):

@@ -254,9 +254,11 @@ class TestCli:
     def test_perf_writes_and_checks(self, tmp_path, capsys):
         path = tmp_path / "BENCH_chameleon.json"
         assert main(["perf", "--scale", "0.05", "--repeats", "1",
-                     "--no-gc-heavy", "--output", str(path)]) == 0
+                     "--no-gc-heavy", "--output", str(path),
+                     "--runs-root", str(tmp_path / "runs")]) == 0
         out = capsys.readouterr().out
         assert "tvla_capture_on" in out
+        assert "indexed run" in out
         assert path.exists()
         assert main(["perf", "--check", str(path)]) == 0
         assert "valid" in capsys.readouterr().out
@@ -278,7 +280,8 @@ class TestCli:
         output = tmp_path / "new.json"
         assert main(["perf", "--scale", "0.05", "--repeats", "1",
                      "--no-gc-heavy", "--output", str(output),
-                     "--baseline", str(baseline)]) == 0
+                     "--baseline", str(baseline),
+                     "--runs-root", str(tmp_path / "runs")]) == 0
         out = capsys.readouterr().out
         assert "vs baseline" in out
 
@@ -295,7 +298,8 @@ class TestCli:
             main(["perf", "--scale", "0.05", "--repeats", "1",
                   "--no-gc-heavy",
                   "--output", str(tmp_path / "new.json"),
-                  "--baseline", str(baseline)])
+                  "--baseline", str(baseline),
+                  "--runs-root", str(tmp_path / "runs")])
         message = str(excinfo.value)
         assert excinfo.value.code != 0
         assert doctored["benchmarks"][0]["name"] in message
@@ -308,7 +312,8 @@ class TestCli:
         assert main(["perf", "--scale", "0.05", "--repeats", "1",
                      "--no-gc-heavy", "--output", str(path),
                      "--suite", "--jobs", "2", "--suite-scale", "0.05",
-                     "--suite-resolution", "32768"]) == 0
+                     "--suite-resolution", "32768",
+                     "--runs-root", str(tmp_path / "runs")]) == 0
         out = capsys.readouterr().out
         assert "suite (fig6+fig7" in out
         written = json.loads(path.read_text())

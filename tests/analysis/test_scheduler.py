@@ -1,7 +1,10 @@
 """Process-pool experiment scheduler: graph semantics and determinism."""
 
+from unittest import mock
+
 import pytest
 
+from repro.analysis import scheduler as scheduler_mod
 from repro.analysis.scheduler import Job, JobError, JobGraph, Scheduler
 
 # Job functions must be module-level so pool workers can unpickle them.
@@ -118,3 +121,67 @@ class TestPoolScheduler:
         scheduler.map(square, [(1,)])
         scheduler.close()
         scheduler.close()
+
+
+class TestShutdownPaths:
+    """close() drains workers gracefully; terminate() is the error path."""
+
+    def test_exit_without_error_uses_close(self):
+        scheduler = Scheduler(jobs=2)
+        scheduler.map(square, [(1,)])
+        pool = scheduler._pool
+        with mock.patch.object(pool, "close",
+                               wraps=pool.close) as closed, \
+                mock.patch.object(pool, "terminate",
+                                  wraps=pool.terminate) as killed:
+            scheduler.__exit__(None, None, None)
+        closed.assert_called_once()
+        killed.assert_not_called()
+        assert scheduler._pool is None
+
+    def test_exit_with_error_terminates(self):
+        scheduler = Scheduler(jobs=2)
+        scheduler.map(square, [(1,)])
+        pool = scheduler._pool
+        with mock.patch.object(pool, "close",
+                               wraps=pool.close) as closed, \
+                mock.patch.object(pool, "terminate",
+                                  wraps=pool.terminate) as killed:
+            scheduler.__exit__(RuntimeError, RuntimeError("boom"), None)
+        killed.assert_called_once()
+        closed.assert_not_called()
+        assert scheduler._pool is None
+
+    def test_terminate_is_idempotent(self):
+        scheduler = Scheduler(jobs=2)
+        scheduler.map(square, [(1,)])
+        scheduler.terminate()
+        scheduler.terminate()
+
+
+class TestSpawnStartMethod:
+    """Spawn workers fix their hash seed at interpreter startup, before
+    any pool initializer runs -- so spawn-only platforms are usable only
+    under an externally fixed PYTHONHASHSEED."""
+
+    def test_spawn_only_without_hashseed_fails_fast(self, monkeypatch):
+        monkeypatch.setattr(scheduler_mod.multiprocessing,
+                            "get_all_start_methods", lambda: ["spawn"])
+        monkeypatch.delenv("PYTHONHASHSEED", raising=False)
+        scheduler = Scheduler(jobs=2)
+        with pytest.raises(RuntimeError, match="PYTHONHASHSEED"):
+            scheduler._ensure_pool()
+        assert scheduler._pool is None
+
+    def test_spawn_only_with_hashseed_is_allowed(self, monkeypatch):
+        monkeypatch.setattr(scheduler_mod.multiprocessing,
+                            "get_all_start_methods", lambda: ["spawn"])
+        monkeypatch.setenv("PYTHONHASHSEED", "2009")
+        with Scheduler(jobs=2) as scheduler:
+            assert scheduler.map(square, [(2,), (3,)]) == [4, 9]
+
+    def test_fork_platform_never_consults_the_environment(self,
+                                                          monkeypatch):
+        monkeypatch.delenv("PYTHONHASHSEED", raising=False)
+        with Scheduler(jobs=2) as scheduler:
+            assert scheduler.map(square, [(2,)]) == [4]

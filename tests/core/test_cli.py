@@ -64,11 +64,13 @@ class TestCommands:
         assert code == 0
         assert "slowdown" in out
 
-    def test_experiment_fig3(self, capsys):
+    def test_experiment_fig3(self, capsys, tmp_path):
         code, out = run_cli(capsys, "experiment", "fig3",
-                            "--scale", "0.1")
+                            "--scale", "0.1",
+                            "--runs-root", str(tmp_path / "runs"))
         assert code == 0
         assert "potential" in out
+        assert "indexed run" in out
 
     def test_unknown_workload_exits_with_hint(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -78,7 +80,7 @@ class TestCommands:
     def test_experiment_with_jobs(self, capsys):
         code, out = run_cli(capsys, "experiment", "fig7",
                             "--scale", "0.05", "--resolution", "32768",
-                            "--jobs", "2")
+                            "--jobs", "2", "--no-index")
         assert code == 0
         assert "original minimal heap" in out
 
@@ -93,14 +95,34 @@ class TestCommands:
         experiments.reset_session_cache()
         _, first = run_cli(capsys, "experiment", "fig7",
                            "--scale", "0.05", "--resolution", "32768",
-                           "--session-cache", cache_path)
+                           "--session-cache", cache_path, "--no-index")
         assert (tmp_path / "sessions.pkl").exists()
         # A later invocation (fresh in-memory cache) reloads the spilled
         # sessions and reproduces the identical artifact.
         experiments.reset_session_cache()
         _, second = run_cli(capsys, "experiment", "fig7",
                             "--scale", "0.05", "--resolution", "32768",
-                            "--session-cache", cache_path)
+                            "--session-cache", cache_path, "--no-index")
+        assert second == first
+        assert experiments.get_session_cache().hits > 0
+        experiments.reset_session_cache()
+
+    def test_experiment_session_store_roundtrip(self, capsys, tmp_path):
+        """A directory --session-cache spills one content-addressed
+        file per entry instead of a single pickle."""
+        from repro.analysis import experiments
+
+        store_dir = tmp_path / "store"
+        experiments.reset_session_cache()
+        _, first = run_cli(capsys, "experiment", "fig7",
+                           "--scale", "0.05", "--resolution", "32768",
+                           "--session-cache", str(store_dir), "--no-index")
+        spilled = list(store_dir.glob("*.pkl"))
+        assert len(spilled) == len(experiments.get_session_cache())
+        experiments.reset_session_cache()
+        _, second = run_cli(capsys, "experiment", "fig7",
+                            "--scale", "0.05", "--resolution", "32768",
+                            "--session-cache", str(store_dir), "--no-index")
         assert second == first
         assert experiments.get_session_cache().hits > 0
         experiments.reset_session_cache()

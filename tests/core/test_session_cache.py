@@ -1,5 +1,9 @@
 """Profiling-session cache: keys, hit behavior, and disk spill."""
 
+import os
+import pickle
+import threading
+
 import pytest
 
 from repro.core.chameleon import Chameleon, SessionCache
@@ -99,3 +103,103 @@ class TestDiskSpill:
         cache.save(str(path))
         assert cache.load(str(path)) == 0
         assert len(cache) == 1
+
+
+class TestSpillDurability:
+    """A torn, truncated, or concurrent spill must never take down
+    later runs: load treats damage as an empty cache with a warning, and
+    save is atomic so readers only ever observe complete pickles."""
+
+    def _spill(self, cache, path):
+        cache._entries[("k",)] = "session"
+        cache.save(str(path))
+        del cache._entries[("k",)]
+
+    def test_truncated_spill_is_treated_as_empty(self, cache, tmp_path):
+        path = tmp_path / "sessions.pkl"
+        self._spill(cache, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt or truncated"):
+            assert cache.load(str(path)) == 0
+        assert len(cache) == 0
+
+    def test_garbage_spill_is_treated_as_empty(self, cache, tmp_path):
+        path = tmp_path / "sessions.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.warns(RuntimeWarning, match="corrupt or truncated"):
+            assert cache.load(str(path)) == 0
+        assert len(cache) == 0
+
+    def test_non_dict_spill_is_treated_as_empty(self, cache, tmp_path):
+        path = tmp_path / "sessions.pkl"
+        path.write_bytes(pickle.dumps(["a", "list"]))
+        with pytest.warns(RuntimeWarning, match="corrupt or truncated"):
+            assert cache.load(str(path)) == 0
+
+    def test_failed_save_preserves_previous_spill(self, cache, tmp_path,
+                                                  monkeypatch):
+        path = tmp_path / "sessions.pkl"
+        self._spill(cache, path)
+        original = path.read_bytes()
+
+        def boom(entries, handle, protocol=None):
+            handle.write(b"half a pi")
+            raise OSError("disk full")
+
+        from repro.core import chameleon as chameleon_mod
+
+        monkeypatch.setattr(chameleon_mod.pickle, "dump", boom)
+        with pytest.raises(OSError):
+            cache.save(str(path))
+        monkeypatch.undo()
+        assert path.read_bytes() == original  # old spill untouched
+        assert [p.name for p in tmp_path.iterdir()] == ["sessions.pkl"]
+
+    def test_concurrent_saves_never_leave_a_torn_file(self, tmp_path,
+                                                      monkeypatch):
+        """Interleave two full saves: whatever rename wins, the file on
+        disk is some one writer's complete pickle."""
+        from repro.core import chameleon as chameleon_mod
+
+        path = tmp_path / "sessions.pkl"
+        first = SessionCache()
+        first._entries[("first",)] = "one"
+        second = SessionCache()
+        second._entries[("second",)] = "two" * 1000
+
+        real_replace = os.replace
+        fired = []
+
+        def interleaved_replace(src, dst):
+            if not fired:
+                fired.append(True)
+                second.save(str(path))  # a second writer completes first
+            real_replace(src, dst)
+
+        monkeypatch.setattr(chameleon_mod.os, "replace",
+                            interleaved_replace)
+        first.save(str(path))
+        monkeypatch.undo()
+
+        merged = SessionCache()
+        assert merged.load(str(path)) == 1  # complete, one writer's dump
+        assert list(merged._entries) == [("first",)]
+        assert [p.name for p in tmp_path.iterdir()] == ["sessions.pkl"]
+
+    def test_threaded_save_hammer_yields_a_complete_spill(self, tmp_path):
+        path = tmp_path / "sessions.pkl"
+        caches = []
+        for i in range(4):
+            cache = SessionCache()
+            cache._entries[(f"writer{i}",)] = "x" * (1000 * (i + 1))
+            caches.append(cache)
+        threads = [threading.Thread(target=cache.save, args=(str(path),))
+                   for cache in caches for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = SessionCache()
+        assert merged.load(str(path)) == 1  # some writer's full dump
+        assert [p.name for p in tmp_path.iterdir()] == ["sessions.pkl"]
