@@ -34,6 +34,7 @@ __all__ = [
     "run_online", "run_hybrid_ablation", "run_profiling_overhead",
     "run_all", "OverheadResult", "get_session_cache",
     "reset_session_cache", "load_session_cache", "spill_session_cache",
+    "attach_session_store", "warm_worker",
 ]
 
 # ---------------------------------------------------------------------------
@@ -138,6 +139,36 @@ def spill_session_cache(path: str) -> int:
 
         return SessionStore(path).save_cache(_SESSION_CACHE)
     return _SESSION_CACHE.save(path)
+
+
+def attach_session_store(path: Optional[str]) -> None:
+    """Attach (or with ``None`` detach) a content-addressed
+    :class:`~repro.analysis.index.SessionStore` behind this process's
+    session cache: misses read through it, new sessions write through.
+
+    Attaching the same directory in the parent and in every scheduler
+    worker is what shares profiling sessions across the pool -- each
+    session crosses the process boundary once, as one content-addressed
+    file, instead of being re-profiled (or re-pickled wholesale) per
+    worker."""
+    if path is None:
+        _SESSION_CACHE.detach_store()
+        return
+    from repro.analysis.index import SessionStore
+
+    _SESSION_CACHE.attach_store(SessionStore(path))
+
+
+def warm_worker(store_path: Optional[str] = None) -> None:
+    """Scheduler-pool warmup hook (top-level, hence picklable for
+    spawn-style pools): run once per worker at pool creation.
+
+    Attaches the shared session store and touches the heavy import
+    chains (workloads, min-heap search) so the first real job pays for
+    work, not module initialisation."""
+    attach_session_store(store_path)
+    import repro.analysis.minheap  # noqa: F401
+    import repro.workloads  # noqa: F401
 
 
 def _tool(config: Optional[ToolConfig] = None) -> Chameleon:

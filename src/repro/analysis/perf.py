@@ -41,8 +41,11 @@ __all__ = ["SCHEMA", "SCHEMA_VERSION", "BenchRecord", "run_suite",
 SCHEMA = "chameleon-perf"
 #: v2 adds the optional top-level ``suite`` section: serial-vs-parallel
 #: wall time for the Fig. 6 + Fig. 7 pair plus session-cache hit counts.
-#: v1 documents (no ``suite`` key) remain valid.
-SCHEMA_VERSION = 2
+#: v3 adds the optional ``suite.overhead`` breakdown (per-job spawn /
+#: worker / transfer / merge seconds from the persistent worker pool)
+#: and the ``gc_mark_heavy`` synthetic benchmark.  Older documents
+#: (no ``suite`` key, or a ``suite`` without ``overhead``) remain valid.
+SCHEMA_VERSION = 3
 
 #: The default workload pair: the section 5.4 extremes.
 DEFAULT_WORKLOADS = ("tvla", "pmd")
@@ -145,6 +148,91 @@ def _bench(name: str, tool: Chameleon, workload_name: str, scale: float,
     )
 
 
+def _build_mark_heavy_heap(seed: int, scale: float):
+    """Synthetic object graph that stresses the mark closure.
+
+    Three shapes, each the worst case for a different part of the loop:
+    a *deep* chain (maximum frontier rounds), a *wide* fan-out (maximum
+    single-round frontier), and a *cyclic* ring with random chords
+    (revisit pressure on the marked-set membership test).  A slab of
+    unreachable objects gives the sweeper real work too.
+    """
+    import random
+
+    from repro.memory.heap import SimHeap
+
+    rng = random.Random(seed)
+    heap = SimHeap()
+    n = max(200, int(6000 * scale))
+
+    chain = [heap.allocate("Deep", 16) for _ in range(n)]
+    for parent, child in zip(chain, chain[1:]):
+        parent.add_ref(child.obj_id)
+    heap.add_root(chain[0])
+
+    hub = heap.allocate("Hub", 16)
+    heap.add_root(hub)
+    for _ in range(n):
+        hub.add_ref(heap.allocate("Wide", 16).obj_id)
+
+    ring = [heap.allocate("Ring", 16) for _ in range(n)]
+    for position, obj in enumerate(ring):
+        obj.add_ref(ring[(position + 1) % n].obj_id)
+    for _ in range(n // 4):
+        ring[rng.randrange(n)].add_ref(ring[rng.randrange(n)].obj_id)
+    heap.add_root(ring[0])
+
+    for _ in range(n // 2):
+        heap.allocate("Garbage", 16)
+    return heap
+
+
+def _bench_gc_mark_heavy(scale: float, seed: int, repeats: int,
+                         cycles: int = 8) -> BenchRecord:
+    """Mark-loop microbenchmark over the synthetic heap shapes.
+
+    Runs ``cycles`` back-to-back collections on the graph from
+    :func:`_build_mark_heavy_heap` (with a little churn between cycles
+    so every cycle re-marks), charging into a plain counter.  Uses the
+    GC core selected by ``ToolConfig.gc_core`` / ``REPRO_GC_CORE``, so
+    core-vs-core wall comparisons come for free; the recorded ticks are
+    pure counts and identical across cores.
+    """
+    from repro.memory.gc import MarkSweepGC
+
+    core = ToolConfig().gc_core
+    best_total: Optional[float] = None
+    ticks = 0
+    allocated = 0
+    for _ in range(max(repeats, 1)):
+        heap = _build_mark_heavy_heap(seed, scale)
+        charged: List[int] = []
+        gc = MarkSweepGC(heap, charge=charged.append, core=core)
+        start = time.perf_counter()
+        for cycle in range(cycles):
+            gc.collect(tick=cycle)
+            for _ in range(64):
+                heap.allocate("Churn", 16)
+        total = time.perf_counter() - start
+        if best_total is None or total < best_total:
+            best_total = total
+        ticks = sum(charged)
+        allocated = heap.total_allocated_objects
+    phases = {name: 0.0 for name in PHASES}
+    phases["run"] = best_total or 0.0
+    return BenchRecord(
+        name="gc_mark_heavy",
+        workload="synthetic",
+        capture=False,
+        repeats=max(repeats, 1),
+        wall_seconds=best_total or 0.0,
+        phases=phases,
+        ticks=ticks,
+        gc_cycles=cycles,
+        allocated_objects=allocated,
+    )
+
+
 def run_suite_section(scale: float = 0.1, resolution: int = 16384,
                       jobs: int = 2) -> dict:
     """Measure the experiment-scheduler trajectory: the Fig. 6 + Fig. 7
@@ -152,10 +240,20 @@ def run_suite_section(scale: float = 0.1, resolution: int = 16384,
     ``jobs``-worker process pool, from a cold session cache each time.
 
     Returns the document's ``suite`` section: both wall times, the
-    speedup, the serial pass's session-cache hit counts, and whether the
-    two rendered reports were byte-identical (the scheduler's
-    determinism contract, asserted here on every perf run).
+    speedup, the serial pass's session-cache hit counts, the parallel
+    pass's pool-overhead breakdown (spawn / worker / transfer / merge
+    seconds from :class:`~repro.analysis.scheduler.SchedulerStats`), and
+    whether the two rendered reports were byte-identical (the
+    scheduler's determinism contract, asserted here on every perf run).
+
+    The parallel pass shares sessions through a content-addressed
+    :class:`~repro.analysis.index.SessionStore` in a temporary
+    directory: workers are warmed up with it at pool creation, so each
+    session crosses the process boundary once as a file instead of
+    being re-pickled through every result queue.
     """
+    import tempfile
+
     from repro.analysis import experiments
     from repro.analysis.scheduler import Scheduler
 
@@ -168,14 +266,22 @@ def run_suite_section(scale: float = 0.1, resolution: int = 16384,
     cache_hits, cache_misses = cache.hits, cache.misses
 
     experiments.reset_session_cache()
-    with Scheduler(jobs=jobs) as scheduler:
-        start = time.perf_counter()
-        parallel = (
-            experiments.run_fig6(scale=scale, resolution=resolution,
-                                 scheduler=scheduler),
-            experiments.run_fig7(scale=scale, resolution=resolution,
-                                 scheduler=scheduler))
-        parallel_seconds = time.perf_counter() - start
+    with tempfile.TemporaryDirectory(prefix="chameleon-suite-") as store_dir:
+        experiments.attach_session_store(store_dir)
+        try:
+            with Scheduler(jobs=jobs,
+                           warmup=(experiments.warm_worker, (store_dir,)),
+                           ) as scheduler:
+                start = time.perf_counter()
+                parallel = (
+                    experiments.run_fig6(scale=scale, resolution=resolution,
+                                         scheduler=scheduler),
+                    experiments.run_fig7(scale=scale, resolution=resolution,
+                                         scheduler=scheduler))
+                parallel_seconds = time.perf_counter() - start
+                overhead = scheduler.stats.as_dict()
+        finally:
+            experiments.attach_session_store(None)
 
     identical = all(s.render() == p.render()
                     for s, p in zip(serial, parallel))
@@ -190,6 +296,7 @@ def run_suite_section(scale: float = 0.1, resolution: int = 16384,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
         "identical": identical,
+        "overhead": overhead,
     }
 
 
@@ -233,6 +340,7 @@ def run_suite(scale: float = 0.2, repeats: int = 3, seed: int = 2009,
         records.append(_bench("gc_heavy", tool, workloads[0], scale, seed,
                               repeats, capture=False,
                               gc_threshold_bytes=16 * 1024))
+        records.append(_bench_gc_mark_heavy(scale, seed, repeats))
     doc = {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,
@@ -287,6 +395,16 @@ _SUITE_FIELDS = {
     "cache_hits": int,
     "cache_misses": int,
     "identical": bool,
+}
+
+#: Schema of the optional (v3+) ``suite.overhead`` breakdown.  Mirrors
+#: :meth:`repro.analysis.scheduler.SchedulerStats.as_dict`.
+_OVERHEAD_FIELDS = {
+    "jobs_executed": int,
+    "spawn_seconds": (int, float),
+    "worker_seconds": (int, float),
+    "transfer_seconds": (int, float),
+    "merge_seconds": (int, float),
 }
 
 
@@ -350,6 +468,27 @@ def validate_document(doc: object) -> None:
                                                            bool)):
                     problems.append(f"suite: field {key!r} has type "
                                     f"{type(suite[key]).__name__}")
+            overhead = suite.get("overhead")
+            if overhead is not None:
+                # Optional breakdown (schema v3+): v2 suites without it
+                # stay valid.
+                if not isinstance(overhead, dict):
+                    problems.append("suite.overhead is not an object")
+                else:
+                    for key, expected in _OVERHEAD_FIELDS.items():
+                        if key not in overhead:
+                            problems.append(
+                                f"suite.overhead: missing field {key!r}")
+                        elif not isinstance(overhead[key], expected) \
+                                or (expected is int
+                                    and isinstance(overhead[key], bool)):
+                            problems.append(
+                                f"suite.overhead: field {key!r} has type "
+                                f"{type(overhead[key]).__name__}")
+                        elif overhead[key] < 0:
+                            problems.append(
+                                f"suite.overhead: field {key!r} is "
+                                f"negative")
     if problems:
         raise ValueError("invalid BENCH document: " + "; ".join(problems))
 
@@ -416,6 +555,14 @@ def render_summary(doc: dict) -> str:
             f"({suite['speedup']:.2f}x), session cache "
             f"{suite['cache_hits']} hits / {suite['cache_misses']} misses, "
             f"results {'identical' if suite['identical'] else 'DIVERGED'}")
+        overhead = suite.get("overhead")
+        if overhead is not None:
+            lines.append(
+                f"  pool overhead ({overhead['jobs_executed']} jobs): "
+                f"spawn {overhead['spawn_seconds']:.3f}s, "
+                f"worker {overhead['worker_seconds']:.2f}s, "
+                f"transfer {overhead['transfer_seconds']:.3f}s, "
+                f"merge {overhead['merge_seconds']:.3f}s")
     return "\n".join(lines)
 
 

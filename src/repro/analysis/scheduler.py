@@ -13,7 +13,18 @@ This module supplies the execution layer:
   dependency edges, validated for cycles and duplicates.
 * :class:`Scheduler` -- runs a graph either **in-process** (``jobs=1``,
   the reference path: plain sequential calls, no pickling, no pool) or on
-  a ``multiprocessing`` worker pool (``jobs>1``).
+  a persistent ``multiprocessing`` worker pool (``jobs>1``).
+
+The pool is created once per :class:`Scheduler` lifetime and reused
+across every :meth:`Scheduler.run` call; a ``warmup`` hook runs once in
+each worker at pool creation (pin the hash seed, attach the shared
+session store, pre-import the tool stack), so per-job latency is pure
+work.  Execution streams: jobs are submitted the moment their
+dependencies resolve and results are merged as they arrive -- there is
+no wave barrier, so one slow job no longer stalls unrelated ready work.
+Per-run overhead (pool spawn, in-worker wall, transfer, merge) is
+accumulated in :attr:`Scheduler.stats` so the perf harness can record a
+measured breakdown instead of asserting the win.
 
 Determinism contract: results are merged in job-insertion order, forked
 workers share the parent interpreter's hash seed (so str/bytes hashing
@@ -31,10 +42,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Job", "JobGraph", "JobError", "Scheduler"]
+__all__ = ["Job", "JobGraph", "JobError", "Scheduler", "SchedulerStats"]
 
 #: Hash seed exported into every worker's environment.  A forked worker
 #: already shares the parent's live hash seed (that is what keeps worker
@@ -132,9 +146,50 @@ class JobGraph:
         return waves
 
 
-def _pool_initializer(hashseed: str) -> None:
-    """Pin the worker's environment for deterministic grandchildren."""
+@dataclass
+class SchedulerStats:
+    """Accumulated overhead breakdown across a scheduler's lifetime.
+
+    All values are wall-clock seconds measured by the parent (worker
+    wall is measured in-worker and shipped back with each result):
+
+    * ``spawn_seconds`` -- creating the worker pool (once per scheduler;
+      worker warmup runs asynchronously and surfaces as first-job
+      transfer time).
+    * ``worker_seconds`` -- sum of in-worker job execution wall time.
+    * ``transfer_seconds`` -- sum over jobs of (submit-to-result-arrival
+      time minus in-worker wall): argument pickling, queue wait, and
+      result shipping.
+    * ``merge_seconds`` -- parent-side result folding and ready-set
+      bookkeeping.
+    """
+
+    jobs_executed: int = 0
+    spawn_seconds: float = 0.0
+    worker_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    merge_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready snapshot (what the BENCH suite section records)."""
+        return {
+            "jobs_executed": self.jobs_executed,
+            "spawn_seconds": self.spawn_seconds,
+            "worker_seconds": self.worker_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "merge_seconds": self.merge_seconds,
+        }
+
+
+def _pool_initializer(hashseed: str,
+                      warmup_fn: Optional[Callable[..., Any]] = None,
+                      warmup_args: Tuple = ()) -> None:
+    """Pin the worker's environment for deterministic grandchildren,
+    then run the caller's warmup hook (shared config / session store /
+    pre-imports) once per worker."""
     os.environ["PYTHONHASHSEED"] = hashseed
+    if warmup_fn is not None:
+        warmup_fn(*warmup_args)
 
 
 def _invoke(fn: Callable[..., Any], args: Tuple, kwargs: Dict[str, Any],
@@ -145,25 +200,51 @@ def _invoke(fn: Callable[..., Any], args: Tuple, kwargs: Dict[str, Any],
     return fn(*args, **kwargs)
 
 
+def _invoke_timed(fn: Callable[..., Any], args: Tuple,
+                  kwargs: Dict[str, Any],
+                  dep_results: Optional[Dict[str, Any]]
+                  ) -> Tuple[Any, float]:
+    """Pool-mode entry point: the job's result plus its in-worker wall
+    time, so the parent can split transfer overhead from real work."""
+    start = time.perf_counter()
+    result = _invoke(fn, args, kwargs, dep_results)
+    return result, time.perf_counter() - start
+
+
 class Scheduler:
     """Executes a :class:`JobGraph`, serially or on a process pool.
 
     ``jobs=1`` is the pure in-process reference path: no pool is created,
     no argument is pickled, and execution order is exactly the graph's
-    topological insertion order.  ``jobs>1`` fans each wave out across a
+    topological insertion order.  ``jobs>1`` runs jobs on a *persistent*
     ``multiprocessing`` pool (``fork`` start method where available, so
-    workers inherit the parent's interned state) and still merges results
-    in insertion order, so callers observe identical results at any
-    parallelism.
+    workers inherit the parent's interned state), created once per
+    scheduler lifetime, warmed by the optional ``warmup`` hook, and
+    reused across every :meth:`run`.  Jobs are submitted as soon as
+    their dependencies resolve and merged as they complete (no wave
+    barrier); the returned mapping is nonetheless always in job-insertion
+    order, so callers observe identical results at any parallelism.
+
+    ``warmup`` is a picklable top-level function (or ``(fn, args)``
+    tuple) run once in each worker at pool creation -- attach the shared
+    session store, pre-import the workload stack, etc.
     """
 
     def __init__(self, jobs: int = 1,
-                 hashseed: str = WORKER_HASHSEED) -> None:
+                 hashseed: str = WORKER_HASHSEED,
+                 warmup: Optional[Any] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self._hashseed = hashseed
+        if warmup is None:
+            self._warmup_fn, self._warmup_args = None, ()
+        elif callable(warmup):
+            self._warmup_fn, self._warmup_args = warmup, ()
+        else:
+            self._warmup_fn, self._warmup_args = warmup[0], tuple(warmup[1])
         self._pool = None
+        self.stats = SchedulerStats()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -192,10 +273,13 @@ class Scheduler:
                         "initializer runs, so worker tick counts could "
                         "silently diverge from the serial reference")
                 context = multiprocessing.get_context()
+            spawn_start = time.perf_counter()
             self._pool = context.Pool(
                 processes=self.jobs,
                 initializer=_pool_initializer,
-                initargs=(self._hashseed,))
+                initargs=(self._hashseed, self._warmup_fn,
+                          self._warmup_args))
+            self.stats.spawn_seconds += time.perf_counter() - spawn_start
         return self._pool
 
     def close(self) -> None:
@@ -231,27 +315,98 @@ class Scheduler:
     def run(self, graph: JobGraph) -> Dict[str, Any]:
         """Execute ``graph``; returns ``{job_id: result}`` in insertion
         order regardless of completion order or parallelism."""
-        waves = graph.waves()
+        waves = graph.waves()  # validates unknown deps and cycles
         results: Dict[str, Any] = {}
         if self.jobs == 1:
             for wave in waves:
                 for job in wave:
                     results[job.job_id] = self._run_one(job, results)
+            self.stats.jobs_executed += len(graph)
         else:
-            pool = self._ensure_pool()
-            for wave in waves:
-                pending = []
-                for job in wave:
-                    deps = ({dep: results[dep] for dep in job.deps}
-                            if job.deps else None)
-                    pending.append((job, pool.apply_async(
-                        _invoke, (job.fn, job.args, dict(job.kwargs), deps))))
-                for job, handle in pending:
-                    try:
-                        results[job.job_id] = handle.get()
-                    except Exception as exc:
-                        raise JobError(job.job_id, exc) from exc
+            self._run_streaming(graph, results)
         return {job_id: results[job_id] for job_id in graph.job_ids()}
+
+    def _run_streaming(self, graph: JobGraph,
+                       results: Dict[str, Any]) -> None:
+        """Pool execution without wave barriers.
+
+        Every job whose dependencies are resolved is in flight; results
+        are folded in as they arrive (completion order), unblocking and
+        submitting dependents immediately.  Only the per-job dependency
+        *deltas* cross the process boundary -- each job ships its own
+        arguments plus its direct dependencies' results, never a whole
+        wave's state.
+        """
+        pool = self._ensure_pool()
+        insertion_index = {job_id: i
+                           for i, job_id in enumerate(graph.job_ids())}
+        remaining_deps: Dict[str, int] = {}
+        dependents: Dict[str, List[Job]] = {}
+        ready: List[Job] = []
+        for job in graph:
+            remaining_deps[job.job_id] = len(job.deps)
+            if job.deps:
+                for dep in job.deps:
+                    dependents.setdefault(dep, []).append(job)
+            else:
+                ready.append(job)
+
+        cond = threading.Condition()
+        arrivals: deque = deque()
+        failures: List[Tuple[str, BaseException]] = []
+        submit_times: Dict[str, float] = {}
+
+        def submit(job: Job) -> None:
+            deps = ({dep: results[dep] for dep in job.deps}
+                    if job.deps else None)
+            job_id = job.job_id
+
+            def on_done(payload: Tuple[Any, float]) -> None:
+                arrival = time.perf_counter()
+                with cond:
+                    arrivals.append((job_id, payload, arrival))
+                    cond.notify()
+
+            def on_error(exc: BaseException) -> None:
+                with cond:
+                    failures.append((job_id, exc))
+                    cond.notify()
+
+            submit_times[job_id] = time.perf_counter()
+            pool.apply_async(
+                _invoke_timed, (job.fn, job.args, dict(job.kwargs), deps),
+                callback=on_done, error_callback=on_error)
+
+        for job in ready:
+            submit(job)
+
+        stats = self.stats
+        done = 0
+        total = len(graph)
+        while done < total:
+            with cond:
+                while not arrivals and not failures:
+                    cond.wait()
+                if failures:
+                    job_id, exc = failures[0]
+                    raise JobError(job_id, exc) from exc
+                job_id, (result, worker_wall), arrival = arrivals.popleft()
+            merge_start = time.perf_counter()
+            results[job_id] = result
+            stats.jobs_executed += 1
+            stats.worker_seconds += worker_wall
+            stats.transfer_seconds += max(
+                0.0, (arrival - submit_times[job_id]) - worker_wall)
+            newly_ready = []
+            for dependent in dependents.get(job_id, ()):
+                remaining_deps[dependent.job_id] -= 1
+                if remaining_deps[dependent.job_id] == 0:
+                    newly_ready.append(dependent)
+            newly_ready.sort(key=lambda j: insertion_index[j.job_id])
+            for job in newly_ready:
+                submit(job)
+            stats.merge_seconds += time.perf_counter() - merge_start
+            done += 1
 
     def _run_one(self, job: Job, results: Dict[str, Any]) -> Any:
         deps = ({dep: results[dep] for dep in job.deps}

@@ -83,11 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the bundled workloads")
 
+    def add_gc_core_arg(p):
+        # Exported as REPRO_GC_CORE before the command runs, so it also
+        # reaches scheduler workers (forked) and ToolConfig defaults.
+        p.add_argument("--gc-core", choices=["reference", "fast", "vector"],
+                       default=None,
+                       help="mark/account core for the simulated GC "
+                            "(byte-identical results; wall clock only; "
+                            "default: $REPRO_GC_CORE or 'fast')")
+
     def add_workload_args(p):
         p.add_argument("workload", help="workload name (see 'list')")
         p.add_argument("--scale", type=float, default=0.4,
                        help="workload scale factor (default 0.4)")
         p.add_argument("--seed", type=int, default=2009)
+        add_gc_core_arg(p)
 
     profile = sub.add_parser(
         "profile", help="run under semantic profiling; print the report")
@@ -142,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--no-index", action="store_true",
                             help="skip writing a run directory and "
                                  "indexing this invocation")
+    add_gc_core_arg(experiment)
 
     perf = sub.add_parser(
         "perf", help="wall-clock perf harness; emits BENCH_chameleon.json")
@@ -188,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="workload scale for the --suite section")
     perf.add_argument("--suite-resolution", type=int, default=16384,
                       help="min-heap resolution for the --suite section")
+    add_gc_core_arg(perf)
 
     history = sub.add_parser(
         "history", help="query the cross-run index: per-benchmark "
@@ -633,6 +645,10 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "gc_core", None):
+        import os
+
+        os.environ["REPRO_GC_CORE"] = args.gc_core
     output = _COMMANDS[args.command](args)
     print(output)
     return 0

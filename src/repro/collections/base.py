@@ -164,6 +164,9 @@ class CollectionImpl:
         self.initial_capacity = initial_capacity
         self.boxes = BoxPool(vm)
         self.anchor: Optional[HeapObject] = None
+        # Shortcut the charge chain (impl -> vm -> clock) to a single
+        # bound-method call; operation hot loops bill the clock directly.
+        self.charge = vm.charge
 
     # -- anchor management -------------------------------------------------
     def _allocate_anchor(self, ref_fields: int, int_fields: int) -> HeapObject:
@@ -199,12 +202,28 @@ class CollectionImpl:
 
     # -- timing ------------------------------------------------------------
     def charge(self, ticks: int) -> None:
-        """Bill ``ticks`` of operation cost to the VM clock."""
+        """Bill ``ticks`` of operation cost to the VM clock.
+
+        Shadowed by a bound ``vm.charge`` instance attribute set in
+        ``__init__``; this definition documents the contract and covers
+        subclasses that skip the base constructor in tests.
+        """
         self.vm.charge(ticks)
 
     # -- AdtFootprint protocol ----------------------------------------------
     def adt_footprint(self) -> FootprintTriple:
         raise NotImplementedError
+
+    def adt_footprint_token(self) -> Optional[int]:
+        """A cheap token that changes whenever :meth:`adt_footprint` or
+        :meth:`adt_internal_ids` could return something new.
+
+        ``None`` (the default) means "no token": callers must recompute
+        every time.  Hash-backed impls return their engine's structural
+        version so per-cycle footprint work can be cached; impls whose
+        footprint is already O(1) stay at ``None``.
+        """
+        return None
 
     def adt_internal_ids(self) -> Iterable[int]:
         raise NotImplementedError

@@ -100,5 +100,8 @@ class HashBackedListImpl(ListImpl):
         core = self.vm.model.core_size(n) if n else 0
         return FootprintTriple(live, used, core)
 
+    def adt_footprint_token(self) -> Optional[int]:
+        return self._table.footprint_version
+
     def adt_internal_ids(self) -> Iterator[int]:
         return self._table.internal_ids()

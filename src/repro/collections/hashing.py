@@ -64,6 +64,16 @@ class HashTableEngine:
         self._buckets: List[List[HashEntry]] = []
         self._order: List[HashEntry] = []  # insertion order (linked variant)
         self._count = 0
+        self._occupied = 0  # non-empty buckets, maintained incrementally
+        # Structural version: bumped whenever the footprint or the
+        # internal-object set could have changed (new/removed entries,
+        # table (re)allocation, clear).  Footprint caches key on it.
+        self._version = 0
+        self._ids_version = -1
+        self._ids_list: List[int] = []
+        model = owner.vm.model
+        refs = 5 if linked else 3
+        self._entry_size = model.object_size(ref_fields=refs, int_fields=1)
         if not lazy:
             self._allocate_table(self.default_capacity)
 
@@ -72,10 +82,13 @@ class HashTableEngine:
     # ------------------------------------------------------------------
     @property
     def entry_size(self) -> int:
-        """Bytes per entry object (3 refs + hash; linked adds 2 refs)."""
-        model = self.owner.vm.model
-        refs = 5 if self.linked else 3
-        return model.object_size(ref_fields=refs, int_fields=1)
+        """Bytes per entry object (3 refs + hash; linked adds 2 refs).
+
+        The layout model is immutable, so the size is computed once at
+        construction -- this property sits on the per-GC-cycle footprint
+        path.
+        """
+        return self._entry_size
 
     @property
     def entry_type_name(self) -> str:
@@ -101,6 +114,8 @@ class HashTableEngine:
             for entry in bucket:
                 self._buckets[entry.hash_code & (capacity - 1)].append(entry)
                 relinked += 1
+        self._occupied = sum(1 for bucket in self._buckets if bucket)
+        self._version += 1
         if relinked:
             self.owner.charge(vm.costs.entry_link * relinked)
 
@@ -178,9 +193,13 @@ class HashTableEngine:
         self._table_obj.add_ref(heap_entry.obj_id)
         vm.remove_root(heap_entry)
         new_entry = HashEntry(key, value, hash_code, heap_entry)
-        self._buckets[hash_code & (len(self._buckets) - 1)].append(new_entry)
+        bucket = self._buckets[hash_code & (len(self._buckets) - 1)]
+        if not bucket:
+            self._occupied += 1
+        bucket.append(new_entry)
         self._order.append(new_entry)
         self._count += 1
+        self._version += 1
         self.owner.charge(vm.costs.entry_link)
         if self._count > len(self._buckets) * self.load_factor:
             self._allocate_table(len(self._buckets) * 2)
@@ -197,12 +216,15 @@ class HashTableEngine:
             return _MISSING
         bucket = self._buckets[hash_code & (len(self._buckets) - 1)]
         bucket.remove(entry)
+        if not bucket:
+            self._occupied -= 1
         self._order.remove(entry)
         entry.heap_obj.remove_ref(self.owner.boxes.release(entry.key))
         if self.is_map:
             entry.heap_obj.remove_ref(self.owner.boxes.release(entry.value))
         self._table_obj.remove_ref(entry.heap_obj.obj_id)
         self._count -= 1
+        self._version += 1
         self.owner.charge(self.owner.vm.costs.entry_link)
         return entry.value
 
@@ -227,6 +249,8 @@ class HashTableEngine:
         for bucket in self._buckets:
             bucket.clear()
         self._count = 0
+        self._occupied = 0
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Iteration
@@ -263,22 +287,39 @@ class HashTableEngine:
         table = self._table_obj.size if self._table_obj is not None else 0
         return table + self.entry_size * self._count
 
+    @property
+    def footprint_version(self) -> int:
+        """Structural version for footprint/internal-id caches.
+
+        Unchanged version guarantees :meth:`live_bytes`,
+        :meth:`used_bytes`, and :meth:`internal_ids` all return the same
+        values as last time; value-only updates don't bump it.
+        """
+        return self._version
+
     def used_bytes(self) -> int:
         """Occupied table slots + all entry objects."""
         if self._table_obj is None:
             return 0
         model = self.owner.vm.model
-        occupied = sum(1 for bucket in self._buckets if bucket)
         return (model.align(model.array_header_bytes
-                            + occupied * model.pointer_bytes)
+                            + self._occupied * model.pointer_bytes)
                 + self.entry_size * self._count)
 
-    def internal_ids(self) -> Iterator[int]:
-        """Heap ids of the table and every entry object."""
-        if self._table_obj is not None:
-            yield self._table_obj.obj_id
-        for entry in self._order:
-            yield entry.heap_obj.obj_id
+    def internal_ids(self) -> List[int]:
+        """Heap ids of the table and every entry object.
+
+        Cached per structural version: the GC asks for this once per
+        anchor per cycle, and between collections the set only changes
+        when the version does.
+        """
+        if self._ids_version != self._version:
+            ids = ([self._table_obj.obj_id]
+                   if self._table_obj is not None else [])
+            ids.extend(entry.heap_obj.obj_id for entry in self._order)
+            self._ids_list = ids
+            self._ids_version = self._version
+        return self._ids_list
 
     def peek_keys(self) -> List[Any]:
         """Keys in insertion order, without charging."""

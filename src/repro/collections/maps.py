@@ -92,6 +92,9 @@ class HashMapImpl(MapImpl):
         core = self.vm.model.core_size(2 * n) if n else 0
         return FootprintTriple(live, used, core)
 
+    def adt_footprint_token(self) -> Optional[int]:
+        return self._table.footprint_version
+
     def adt_internal_ids(self) -> Iterator[int]:
         return self._table.internal_ids()
 
@@ -319,6 +322,12 @@ class SizeAdaptingMapImpl(MapImpl):
         return FootprintTriple(self.anchor.size + inner.live,
                                self.anchor.size + inner.used,
                                inner.core)
+
+    def adt_footprint_token(self) -> Optional[int]:
+        # Pre-conversion the array inner has no token (no caching);
+        # post-conversion the hash engine's version is safe to reuse
+        # because the conversion is one-way -- no stale cross-phase hits.
+        return self._inner.adt_footprint_token()
 
     def adt_internal_ids(self) -> Iterator[int]:
         yield self._inner.anchor_id

@@ -87,6 +87,9 @@ class HashSetImpl(SetImpl):
         core = self.vm.model.core_size(n) if n else 0
         return FootprintTriple(live, used, core)
 
+    def adt_footprint_token(self) -> Optional[int]:
+        return self._table.footprint_version
+
     def adt_internal_ids(self) -> Iterator[int]:
         return self._table.internal_ids()
 
@@ -290,6 +293,11 @@ class SizeAdaptingSetImpl(SetImpl):
         return FootprintTriple(self.anchor.size + inner.live,
                                self.anchor.size + inner.used,
                                inner.core)
+
+    def adt_footprint_token(self) -> Optional[int]:
+        # One-way array->hash conversion: no token until hashed, then the
+        # engine version (never a stale cross-phase hit).
+        return self._inner.adt_footprint_token()
 
     def adt_internal_ids(self) -> Iterator[int]:
         yield self._inner.anchor_id

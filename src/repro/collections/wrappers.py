@@ -87,6 +87,14 @@ class ChameleonCollection:
             vm, impl_name, kind=self.KIND, initial_capacity=capacity,
             context_id=self.context_id, **merged_kwargs)
 
+        # Per-cycle footprint caches, keyed on the impl's structural
+        # token (None = impl opted out of caching).  Invalidated on
+        # swap_to, which replaces the impl outright.
+        self._fp_token: Optional[int] = None
+        self._fp_triple: Optional[FootprintTriple] = None
+        self._ids_token: Optional[int] = None
+        self._ids_list: List[int] = []
+
         self._oci = None
         on_death = None
         if profile:
@@ -215,6 +223,8 @@ class ChameleonCollection:
             context_id=self.context_id, **(impl_kwargs or {}))
         old_impl = self.impl
         self.impl = new_impl
+        self._fp_token = None
+        self._ids_token = None
         self._migrate(old_impl, new_impl)
         self.heap_obj.remove_ref(old_impl.anchor_id)
         self.heap_obj.add_ref(new_impl.anchor_id)
@@ -277,14 +287,28 @@ class ChameleonCollection:
     # AdtFootprint protocol (the wrapper anchors the whole ADT)
     # ------------------------------------------------------------------
     def adt_footprint(self) -> FootprintTriple:
+        token = self.impl.adt_footprint_token()
+        if token is not None and token == self._fp_token:
+            return self._fp_triple
         inner = self.impl.adt_footprint()
-        return FootprintTriple(inner.live + self.heap_obj.size,
-                               inner.used + self.heap_obj.size,
-                               inner.core)
+        triple = FootprintTriple(inner.live + self.heap_obj.size,
+                                 inner.used + self.heap_obj.size,
+                                 inner.core)
+        if token is not None:
+            self._fp_token = token
+            self._fp_triple = triple
+        return triple
 
-    def adt_internal_ids(self) -> Iterator[int]:
-        yield self.impl.anchor_id
-        yield from self.impl.adt_internal_ids()
+    def adt_internal_ids(self) -> Iterable[int]:
+        token = self.impl.adt_footprint_token()
+        if token is not None and token == self._ids_token:
+            return self._ids_list
+        ids = [self.impl.anchor_id]
+        ids.extend(self.impl.adt_internal_ids())
+        if token is not None:
+            self._ids_token = token
+            self._ids_list = ids
+        return ids
 
     def adt_element_count(self) -> int:
         return self.impl.size

@@ -147,8 +147,10 @@ class SessionCache:
 
     def __init__(self) -> None:
         self._entries: dict = {}
+        self._backing = None
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     @staticmethod
     def key(config: ToolConfig, workload: Workload) -> tuple:
@@ -157,9 +159,39 @@ class SessionCache:
         return (f"{cls.__module__}.{cls.__qualname__}", workload.seed,
                 workload.scale, workload.manual_fixes, config.fingerprint())
 
+    def attach_store(self, store) -> None:
+        """Attach a content-addressed backing store (read-through on
+        miss, write-through on :meth:`put`).
+
+        This is how scheduler workers share sessions without re-pickling
+        them wholesale: each entry crosses process boundaries exactly
+        once, as its own content-addressed file, and every other worker
+        reads it back by key instead of recomputing the profile.
+        """
+        self._backing = store
+
+    def detach_store(self) -> None:
+        """Detach the backing store (in-memory entries are kept)."""
+        self._backing = None
+
+    @property
+    def backing_store(self):
+        """The attached store, or ``None``."""
+        return self._backing
+
     def get(self, key: tuple) -> Optional["ProfilingSession"]:
-        """The cached session, counting the lookup as a hit or miss."""
+        """The cached session, counting the lookup as a hit or miss.
+
+        A miss in memory falls through to the backing store when one is
+        attached; a store hit is counted as a hit (and separately in
+        ``store_hits``) and promoted into memory.
+        """
         session = self._entries.get(key)
+        if session is None and self._backing is not None:
+            session = self._backing.get(key)
+            if session is not None:
+                self._entries[key] = session
+                self.store_hits += 1
         if session is None:
             self.misses += 1
         else:
@@ -168,7 +200,10 @@ class SessionCache:
 
     def put(self, key: tuple, session: "ProfilingSession") -> None:
         """Store a trimmed (``vm=None``) copy of ``session``."""
-        self._entries[key] = dataclasses.replace(session, vm=None)
+        trimmed = dataclasses.replace(session, vm=None)
+        self._entries[key] = trimmed
+        if self._backing is not None:
+            self._backing.put(key, trimmed)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -190,10 +225,15 @@ class SessionCache:
         return added
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss counters.
+
+        An attached backing store stays attached (and keeps its files):
+        clearing resets this *process's* view, not the shared spill.
+        """
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     # ------------------------------------------------------------------
     # Disk spill
@@ -277,7 +317,8 @@ class Chameleon:
             gc_threshold_bytes=self.config.gc_threshold_bytes,
             context_depth=self.config.context_depth,
             profiler=profiler,
-            policy=policy)
+            policy=policy,
+            gc_core=self.config.gc_core)
 
     def _make_profiler(self) -> SemanticProfiler:
         if self.config.sampling_rate <= 1:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -50,6 +51,15 @@ class ToolConfig:
         top_contexts_to_apply: How many ranked suggestions the apply step
             takes (the paper modified "the top allocation contexts",
             e.g. 5 for TVLA).
+        gc_core: Which mark/account core the collector uses
+            ("reference", "fast", or "vector").  All cores are
+            byte-identical in every observable (ticks, GC stats, rendered
+            reports); the flag only trades wall-clock speed, so it is
+            deliberately *excluded* from :meth:`fingerprint` -- sessions
+            profiled under one core are valid cache hits under another.
+            The ``REPRO_GC_CORE`` environment variable overrides the
+            default (that is how pool workers and CI legs select a core
+            without threading it through every constructor).
     """
 
     constants: Dict[str, float] = field(default_factory=dict)
@@ -64,12 +74,19 @@ class ToolConfig:
     online_decide_after: int = 8
     online_retrofit_live: bool = False
     top_contexts_to_apply: Optional[int] = None
+    gc_core: str = field(
+        default_factory=lambda: os.environ.get("REPRO_GC_CORE", "fast"))
 
     def __post_init__(self) -> None:
         if self.sampling_rate < 1:
             raise ValueError("sampling_rate must be >= 1")
         if self.online_decide_after < 1:
             raise ValueError("online_decide_after must be >= 1")
+        from repro.memory.gc import MarkSweepGC
+        if self.gc_core not in MarkSweepGC.CORES:
+            raise ValueError(
+                f"gc_core must be one of {MarkSweepGC.CORES}, "
+                f"got {self.gc_core!r}")
 
     def fingerprint(self) -> str:
         """A stable digest of every semantic field.
@@ -81,5 +98,10 @@ class ToolConfig:
         stable across processes and interpreter invocations.
         """
         payload = dataclasses.asdict(self)
+        # The GC core selection changes wall-clock speed only, never the
+        # simulated run; excluding it keeps session-cache entries shared
+        # across cores (and lets CI diff fast vs reference runs that hit
+        # the same cached sessions).
+        payload.pop("gc_core", None)
         canonical = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -29,6 +29,26 @@ from repro.memory.stats import GcCycleStats, HeapTimeline
 
 __all__ = ["GcCostParameters", "MarkSweepGC"]
 
+_NUMPY = None
+_NUMPY_CHECKED = False
+
+
+def _numpy():
+    """The numpy module, or ``None`` when not installed (checked once)."""
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        try:
+            import numpy
+            _NUMPY = numpy
+        except ImportError:  # pragma: no cover - numpy ships in CI
+            _NUMPY = None
+        _NUMPY_CHECKED = True
+    return _NUMPY
+
+
+def _have_numpy() -> bool:
+    return _numpy() is not None
+
 
 @dataclass(frozen=True)
 class GcCostParameters:
@@ -46,12 +66,34 @@ class GcCostParameters:
 
 
 class MarkSweepGC:
-    """Mark-sweep collector over a :class:`SimHeap` with semantic maps."""
+    """Mark-sweep collector over a :class:`SimHeap` with semantic maps.
+
+    The mark and account phases exist in interchangeable *cores* selected
+    by :meth:`set_core` (``ToolConfig.gc_core`` end to end):
+
+    * ``"reference"`` -- the straightforward per-object BFS and
+      accounting loops, kept as the executable specification.
+    * ``"fast"`` (default) -- batched set-frontier marking and a single
+      allocation-order accounting sweep over the heap store.
+    * ``"vector"`` -- the fast account plus a flat-adjacency-array mark
+      closure vectorised with numpy; silently falls back to ``"fast"``
+      when numpy is unavailable.
+
+    Every core charges identical ticks (charges are pure counts) and
+    produces identical :class:`GcCycleStats` including dict insertion
+    order: both cores visit marked objects in allocation order (ids are
+    dense and monotonically increasing, so ascending id order *is*
+    allocation order).  The differential property test in
+    ``tests/verify`` enforces byte-identity over the trace corpus.
+    """
+
+    CORES = ("reference", "fast", "vector")
 
     def __init__(self, heap: SimHeap,
                  semantic_maps: Optional[SemanticMapRegistry] = None,
                  charge: Optional[Callable[[int], None]] = None,
-                 costs: Optional[GcCostParameters] = None) -> None:
+                 costs: Optional[GcCostParameters] = None,
+                 core: str = "fast") -> None:
         self.heap = heap
         self.semantic_maps = semantic_maps or SemanticMapRegistry()
         self.timeline = HeapTimeline()
@@ -59,6 +101,9 @@ class MarkSweepGC:
         self._charge = charge or (lambda ticks: None)
         self.cycle_count = 0
         self._collecting = False
+        self._live_bytes_stamp: Optional[tuple] = None
+        self._live_bytes_value = 0
+        self.set_core(core)
         # Sanitizer/observer hook points.  Pre hooks run before marking;
         # post hooks run after the sweep with the marked set and any
         # deliberately kept (e.g. tenured) ids.  Hooks are observers:
@@ -129,10 +174,35 @@ class MarkSweepGC:
         return stats
 
     # ------------------------------------------------------------------
-    # Phases
+    # Core selection
     # ------------------------------------------------------------------
-    def _mark(self) -> Set[int]:
-        """Transitive closure from the heap's root set."""
+    def set_core(self, core: str) -> None:
+        """Select the mark/account core (``reference``/``fast``/``vector``).
+
+        Cores are byte-identical; switching mid-run is therefore safe.
+        ``vector`` requires numpy and degrades to ``fast`` without it.
+        """
+        if core not in self.CORES:
+            raise ValueError(f"unknown gc core {core!r}; "
+                             f"expected one of {self.CORES}")
+        if core == "vector" and not _have_numpy():
+            core = "fast"
+        self.core = core
+        if core == "reference":
+            self._mark = self._mark_reference
+            self._account = self._account_reference
+        elif core == "vector":
+            self._mark = self._mark_vector
+            self._account = self._account_fast
+        else:
+            self._mark = self._mark_fast
+            self._account = self._account_fast
+
+    # ------------------------------------------------------------------
+    # Phases -- reference core
+    # ------------------------------------------------------------------
+    def _mark_reference(self) -> Set[int]:
+        """Transitive closure from the heap's root set (per-object BFS)."""
         live = self.heap.ids()
         heap_get = self.heap.get
         marked: Set[int] = set()
@@ -150,20 +220,24 @@ class MarkSweepGC:
                     append(ref_id)
         return marked
 
-    def _account(self, marked: Set[int], stats: GcCycleStats) -> None:
+    def _account_reference(self, marked: Set[int],
+                           stats: GcCycleStats) -> None:
         """Compute Table 3 statistics over the marked set.
 
         Runs in two passes so the result is independent of visit order:
         first find every ADT anchor and the internal objects it claims,
         then attribute bytes.  An anchor that is itself claimed by another
         anchor (e.g. a backing implementation owned by a wrapper) is folded
-        into its owner rather than reported separately.
+        into its owner rather than reported separately.  Objects are
+        visited in ascending id (= allocation) order so the statistics
+        dicts carry the same insertion order as the fast core's
+        allocation-order sweep.
         """
         anchors: List[Tuple[HeapObject, SemanticMap]] = []
         claimed: Set[int] = set()
         heap_get = self.heap.get
         lookup = self.semantic_maps.lookup
-        for obj_id in marked:
+        for obj_id in sorted(marked):
             obj = heap_get(obj_id)
             stats.live_data += obj.size
             semantic_map = lookup(obj)
@@ -195,11 +269,182 @@ class MarkSweepGC:
                 stats.context(context_id).add(
                     triple.live, triple.used, triple.core)
 
-        for obj_id in marked:
+        for obj_id in sorted(marked):
             if obj_id in claimed or obj_id in anchor_ids:
                 continue
             obj = heap_get(obj_id)
             stats.add_type_bytes(obj.type_name, obj.size)
+
+    # ------------------------------------------------------------------
+    # Phases -- fast core
+    # ------------------------------------------------------------------
+    def _mark_fast(self) -> Set[int]:
+        """Transitive closure via whole-frontier set algebra.
+
+        Instead of testing every edge against the marked set one by one,
+        each round unions the frontier's complete out-edge sets and
+        subtracts/intersects at the C level.  Visits the same edges, so
+        the result is identical to the reference BFS.
+        """
+        objects = self.heap._objects
+        keys = objects.keys()
+        marked = {rid for rid in self.heap._roots if rid in objects}
+        frontier = marked
+        while frontier:
+            if len(frontier) <= 8:
+                # Narrow frontier (deep chains): the n-ary union's three
+                # temporary sets per round cost more than they save, so
+                # walk the handful of edges directly.
+                fresh: Set[int] = set()
+                for obj_id in frontier:
+                    for ref in objects[obj_id].refs:
+                        if ref not in marked and ref in objects:
+                            fresh.add(ref)
+            else:
+                # One C-level n-ary union per round instead of one
+                # update() call per frontier object.
+                fresh = set()
+                fresh.update(*[objects[obj_id].refs for obj_id in frontier])
+                fresh -= marked
+                fresh &= keys
+            marked |= fresh
+            frontier = fresh
+        return marked
+
+    def _account_fast(self, marked: Set[int], stats: GcCycleStats) -> None:
+        """Table 3 statistics via one allocation-order sweep.
+
+        Semantics are identical to :meth:`_account_reference`; the loop
+        iterates the heap store directly (dict insertion order =
+        allocation order = ascending id, matching the reference core's
+        sorted visits), skips the per-id ``heap.get`` calls, and folds
+        the three reference passes' bookkeeping into local variables.
+        """
+        objects = self.heap._objects
+        registry = self.semantic_maps
+        lookup = registry.lookup
+        version = registry._version
+        anchors: List[Tuple[HeapObject, SemanticMap]] = []
+        plain: List[HeapObject] = []
+        plain_append = plain.append
+        live_data = 0
+        if len(marked) * 3 < len(objects):
+            # Sparse marking: touching every stored object would dwarf
+            # the work; visit the marked ids directly (sorted == same
+            # allocation order).
+            items = [objects[obj_id] for obj_id in sorted(marked)]
+        else:
+            items = objects.values() if len(marked) == len(objects) \
+                else [obj for obj_id, obj in objects.items()
+                      if obj_id in marked]
+        for obj in items:
+            live_data += obj.size
+            # Inlined fast path of SemanticMapRegistry.lookup: the
+            # verdict cached on the object is valid while the registry
+            # version matches.
+            if obj.sm_version == version:
+                semantic_map = obj.sm_map
+            else:
+                semantic_map = lookup(obj)
+            if semantic_map is None:
+                plain_append(obj)
+                continue
+            payload = obj.payload
+            if payload is not None and getattr(
+                    payload, "_construction_rooted", False):
+                # A half-built ADT is accounted as plain data this cycle,
+                # exactly as in the reference core.
+                plain_append(obj)
+                continue
+            anchors.append((obj, semantic_map))
+        stats.live_data += live_data
+
+        claimed: Set[int] = set()
+        for anchor, semantic_map in anchors:
+            claimed.update(semantic_map.internal_ids(anchor))
+
+        collection_live = collection_used = collection_core = 0
+        collection_objects = 0
+        add_type_bytes = stats.add_type_bytes
+        context = stats.context
+        for anchor, semantic_map in anchors:
+            if anchor.obj_id in claimed:
+                continue  # owned by an enclosing ADT (wrapper)
+            triple = semantic_map.footprint(anchor)
+            collection_live += triple.live
+            collection_used += triple.used
+            collection_core += triple.core
+            collection_objects += 1
+            add_type_bytes(anchor.type_name, triple.live)
+            context_id = semantic_map.context_id(anchor)
+            if context_id is not None:
+                context(context_id).add(triple.live, triple.used, triple.core)
+        stats.collection_live += collection_live
+        stats.collection_used += collection_used
+        stats.collection_core += collection_core
+        stats.collection_objects += collection_objects
+
+        type_distribution = stats.type_distribution
+        get_bytes = type_distribution.get
+        for obj in plain:
+            # ``plain`` preserves the visit order, so insertion order in
+            # the distribution matches the reference core; anchors never
+            # receive plain attribution (claimed or not), internals
+            # claimed by an ADT are attributed to their owner above.
+            if obj.obj_id in claimed:
+                continue
+            name = obj.type_name
+            type_distribution[name] = get_bytes(name, 0) + obj.size
+
+    # ------------------------------------------------------------------
+    # Phases -- vector core (numpy flat-adjacency mark)
+    # ------------------------------------------------------------------
+    def _mark_vector(self) -> Set[int]:
+        """Mark closure over flat adjacency arrays (numpy frontier).
+
+        Builds a CSR-style (heads, edges) pair for the current object
+        graph, then expands the root frontier with vectorised gather /
+        unique passes.  Reaches exactly the reference closure.
+        """
+        np = _numpy()
+        objects = self.heap._objects
+        if not objects:
+            return set()
+        index_of = {obj_id: i for i, obj_id in enumerate(objects)}
+        n = len(index_of)
+        heads = [0] * (n + 1)
+        flat: List[int] = []
+        append = flat.extend
+        for i, obj in enumerate(objects.values()):
+            refs = obj.refs
+            if refs:
+                append(idx for ref_id in refs
+                       if (idx := index_of.get(ref_id)) is not None)
+            heads[i + 1] = len(flat)
+        heads_arr = np.asarray(heads, dtype=np.int64)
+        edges = np.asarray(flat, dtype=np.int64)
+        counts = heads_arr[1:] - heads_arr[:-1]
+
+        marked = np.zeros(n, dtype=bool)
+        frontier = np.asarray(
+            sorted({index_of[rid] for rid in self.heap._roots
+                    if rid in index_of}), dtype=np.int64)
+        marked[frontier] = True
+        while frontier.size:
+            spans_from = heads_arr[frontier]
+            spans_len = counts[frontier]
+            total = int(spans_len.sum())
+            if not total:
+                break
+            gather = np.repeat(spans_from + spans_len
+                               - spans_len.cumsum(), spans_len)
+            gather += np.arange(total, dtype=np.int64)
+            targets = edges[gather]
+            fresh = np.unique(targets[~marked[targets]])
+            marked[fresh] = True
+            frontier = fresh
+        ids = np.fromiter(objects.keys(), dtype=np.int64, count=n)
+        return set(ids[marked].tolist())
 
     def _sweep(self, marked: Set[int], stats: GcCycleStats) -> None:
         """Free unmarked objects, invoking death hooks as they die.
@@ -218,6 +463,21 @@ class MarkSweepGC:
     # Queries
     # ------------------------------------------------------------------
     def live_bytes_estimate(self) -> int:
-        """Exact live bytes right now (runs a mark without sweeping)."""
+        """Exact live bytes right now (a mark without sweeping).
+
+        The full mark is run only when the heap has mutated since the
+        last query: the result is cached keyed on the heap's mutation
+        stamp (allocations, frees, root edits, reference edits), so
+        back-to-back estimates -- the minimal-heap search's probing
+        pattern -- cost one dict-free comparison instead of a heap walk.
+        The stamp can only over-invalidate, so the estimate stays exact.
+        """
+        stamp = self.heap.mutation_stamp()
+        if stamp == self._live_bytes_stamp:
+            return self._live_bytes_value
         marked = self._mark()
-        return sum(self.heap.get(obj_id).size for obj_id in marked)
+        objects = self.heap._objects
+        value = sum(objects[obj_id].size for obj_id in marked)
+        self._live_bytes_stamp = stamp
+        self._live_bytes_value = value
+        return value

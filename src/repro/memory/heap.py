@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, ClassVar, Dict, Iterator, Optional
 
 from repro.memory.layout import MemoryModel
 
@@ -75,9 +75,18 @@ class HeapObject:
     sm_version: int = field(default=0, repr=False)
     sm_map: Any = field(default=None, repr=False)
 
+    #: Process-wide edge-mutation epoch.  Reachability caches (e.g. the
+    #: collector's live-bytes estimate) key on this together with the
+    #: owning heap's :meth:`SimHeap.mutation_stamp`; sharing one counter
+    #: across heaps over-invalidates (another heap's edit flushes our
+    #: cache) but can never under-invalidate, and costs one integer
+    #: increment per edge edit instead of a heap back-pointer per object.
+    graph_epoch: ClassVar[int] = 0
+
     def add_ref(self, target_id: int) -> None:
         """Add one reference edge to ``target_id``."""
         self.refs[target_id] += 1
+        HeapObject.graph_epoch += 1
 
     def remove_ref(self, target_id: int) -> None:
         """Drop one reference edge to ``target_id``.
@@ -93,10 +102,12 @@ class HeapObject:
             del self.refs[target_id]
         else:
             self.refs[target_id] = count - 1
+        HeapObject.graph_epoch += 1
 
     def clear_refs(self) -> None:
         """Drop every outgoing edge (used when a structure is discarded)."""
         self.refs.clear()
+        HeapObject.graph_epoch += 1
 
     def __hash__(self) -> int:
         return self.obj_id
@@ -125,6 +136,7 @@ class SimHeap:
         self._objects: Dict[int, HeapObject] = {}
         self._roots: Counter = Counter()
         self._next_id = 1
+        self._root_epoch = 0
         # Monotonic accounting across the whole run.
         self.total_allocated_bytes = 0
         self.total_allocated_objects = 0
@@ -230,6 +242,7 @@ class SimHeap:
     def add_root(self, obj: HeapObject) -> None:
         """Pin ``obj`` as a GC root (thread stack / static analog)."""
         self._roots[obj.obj_id] += 1
+        self._root_epoch += 1
 
     def remove_root(self, obj: HeapObject) -> None:
         """Unpin one root registration of ``obj``."""
@@ -240,6 +253,20 @@ class SimHeap:
             del self._roots[obj.obj_id]
         else:
             self._roots[obj.obj_id] = count - 1
+        self._root_epoch += 1
+
+    def mutation_stamp(self) -> tuple:
+        """A value that changes whenever reachability could have changed.
+
+        Composed of the monotonic allocation/free counters (object birth
+        and death, including sweeps, which free without :meth:`free`),
+        the root-set epoch, and the process-wide edge epoch
+        (:attr:`HeapObject.graph_epoch`).  Equal stamps guarantee an
+        identical reachable set; the converse need not hold (the stamp
+        may over-invalidate), which is the safe direction for caches.
+        """
+        return (self.total_allocated_objects, self.total_freed_objects,
+                self._root_epoch, HeapObject.graph_epoch)
 
     def root_ids(self) -> Iterator[int]:
         """Iterate over the ids of the current root set."""

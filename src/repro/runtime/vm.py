@@ -115,15 +115,26 @@ class RuntimeEnvironment:
                  gc_overhead_fraction: float = 0.04,
                  gc_overhead_limit: int = 4,
                  collector_factory: Optional[Callable[..., MarkSweepGC]]
-                 = None) -> None:
+                 = None,
+                 gc_core: Optional[str] = None) -> None:
         self.model = model or MemoryModel.for_32bit()
         self.costs = cost_model or CostModel()
         self.clock = VMClock()
+        # Shortcut the charge chain: `vm.charge` is the clock's bound
+        # method, saving a Python frame on the hottest call in the run
+        # phase.  The def below remains as documentation and for
+        # subclasses that override __init__.
+        self.charge = self.clock.charge
         self.heap = SimHeap(self.model, limit=heap_limit)
         self.semantic_maps = SemanticMapRegistry()
         factory = collector_factory or MarkSweepGC
         self.gc = factory(self.heap, self.semantic_maps,
                           charge=self.clock.charge, costs=gc_costs)
+        if gc_core is not None:
+            # Applied post-construction so custom collector factories
+            # (e.g. GenerationalGC) keep their signatures; every core is
+            # byte-identical in simulated observables.
+            self.gc.set_core(gc_core)
         from repro.profiler.profiler import SemanticProfiler
 
         self.contexts = ContextRegistry(depth=context_depth)

@@ -494,13 +494,20 @@ def _encode_call_args(spec: Tuple[str, ...], args: tuple,
 
 @dataclass
 class ReplayResult:
-    """Outcome of replaying one trace against one implementation."""
+    """Outcome of replaying one trace against one implementation.
+
+    ``gc_detail`` (populated on request) is the replay's full GC
+    observable record: freed object ids in sweep order, surviving
+    object ids, and every per-cycle statistic -- the byte-identity
+    surface the interchangeable GC cores are differentially tested on.
+    """
 
     impl_name: str
     outcomes: List[list]
     dropped_at: Optional[int] = None
     ticks: int = 0
     violations: List[Any] = field(default_factory=list)
+    gc_detail: Optional[dict] = None
 
     @property
     def dropped(self) -> bool:
@@ -529,21 +536,37 @@ def _state_snapshot(wrapper: ChameleonCollection,
 
 def replay_trace(trace: Trace, impl_name: str,
                  registry: Optional[ImplementationRegistry] = None,
-                 sanitize: bool = False) -> ReplayResult:
+                 sanitize: bool = False,
+                 gc_core: Optional[str] = None,
+                 gc_detail: bool = False) -> ReplayResult:
     """Replay ``trace`` against ``impl_name`` in a fresh, isolated VM.
 
     Malformed traces (as the shrinker produces: orphan ``iter_next``,
     unknown slots) replay as deterministic no-ops rather than crashing.
     An :class:`UnsupportedOperation`/``TypeError`` from the implementation
     records an ``unsup`` outcome and stops the replay (drop-out).
+
+    ``gc_core`` selects the collector's mark/account core for this
+    replay (default: the config default); with ``gc_detail`` the result
+    carries the replay's full GC observable record, so two replays can
+    be diffed core-against-core.
     """
     registry = registry or default_registry()
-    vm = RuntimeEnvironment(gc_threshold_bytes=None)
+    vm = RuntimeEnvironment(gc_threshold_bytes=None, gc_core=gc_core)
     sanitizer = None
     if sanitize:
         from repro.verify.sanitizer import HeapSanitizer
         sanitizer = HeapSanitizer()
         sanitizer.attach(vm)
+    freed_ids: List[int] = []
+    if gc_detail:
+        original_free = vm.heap.free
+
+        def recording_free(obj: HeapObject) -> None:
+            freed_ids.append(obj.obj_id)
+            original_free(obj)
+
+        vm.heap.free = recording_free  # type: ignore[method-assign]
 
     handles = HandleTable()
     for handle in range(max_handle(trace.ops) + 1):
@@ -568,10 +591,22 @@ def replay_trace(trace: Trace, impl_name: str,
             dropped_at = step
             break
     vm.collect()
+    detail: Optional[dict] = None
+    if gc_detail:
+        import dataclasses
+
+        detail = {
+            "core": vm.gc.core,
+            "freed_ids": list(freed_ids),  # sweep order, not sorted
+            "surviving_ids": sorted(vm.heap._objects),
+            "cycles": [dataclasses.asdict(cycle)
+                       for cycle in vm.timeline.cycles],
+        }
     return ReplayResult(impl_name=impl_name, outcomes=outcomes,
                         dropped_at=dropped_at, ticks=vm.now,
                         violations=list(sanitizer.violations)
-                        if sanitizer is not None else [])
+                        if sanitizer is not None else [],
+                        gc_detail=detail)
 
 
 def _apply_op(vm: RuntimeEnvironment, wrapper: ChameleonCollection,

@@ -46,6 +46,21 @@ class TestRunSuite:
                    for record in stressed["benchmarks"]}
         assert by_name["gc_heavy"]["gc_cycles"] \
             > by_name["tvla_capture_off"]["gc_cycles"]
+        mark_heavy = by_name["gc_mark_heavy"]
+        assert mark_heavy["workload"] == "synthetic"
+        assert mark_heavy["ticks"] > 0
+        assert mark_heavy["wall_seconds"] > 0
+
+    def test_gc_mark_heavy_is_deterministic_across_cores(self, monkeypatch):
+        """Pure tick counts: the microbenchmark measures the same
+        simulated work whichever mark/account core runs it."""
+        ticks = set()
+        for core in ("reference", "fast", "vector"):
+            monkeypatch.setenv("REPRO_GC_CORE", core)
+            record = perf._bench_gc_mark_heavy(scale=0.05, seed=2009,
+                                               repeats=1)
+            ticks.add(record.ticks)
+        assert len(ticks) == 1, f"core-dependent ticks: {ticks}"
 
     def test_render_summary_names_every_benchmark(self, doc):
         text = perf.render_summary(doc)
@@ -136,6 +151,21 @@ class TestSuiteSection:
         perf.validate_document(extended)  # must not raise
         assert "suite (fig6+fig7" in perf.render_summary(extended)
 
+    def test_overhead_breakdown_is_recorded(self, suite):
+        """Schema v3: the parallel pass reports where non-worker wall
+        time went (spawn / transfer / merge)."""
+        overhead = suite["overhead"]
+        assert overhead["jobs_executed"] > 0
+        assert overhead["spawn_seconds"] > 0.0
+        assert overhead["worker_seconds"] > 0.0
+        assert overhead["transfer_seconds"] >= 0.0
+        assert overhead["merge_seconds"] >= 0.0
+
+    def test_overhead_renders_in_the_summary(self, doc, suite):
+        extended = copy.deepcopy(doc)
+        extended["suite"] = suite
+        assert "pool overhead" in perf.render_summary(extended)
+
 
 class TestSuiteSectionValidation:
     def _doc_with_suite(self, doc, **overrides):
@@ -179,6 +209,48 @@ class TestSuiteSectionValidation:
     def test_rejects_bool_suite_counter(self, doc):
         broken = self._doc_with_suite(doc, cache_hits=True)
         with pytest.raises(ValueError, match="suite: field 'cache_hits'"):
+            perf.validate_document(broken)
+
+    def _overhead(self, **overrides):
+        overhead = {"jobs_executed": 24, "spawn_seconds": 0.02,
+                    "worker_seconds": 5.0, "transfer_seconds": 0.3,
+                    "merge_seconds": 0.01}
+        overhead.update(overrides)
+        return overhead
+
+    def test_v2_suite_without_overhead_stays_valid(self, doc):
+        """Backward compat: the overhead breakdown is v3-optional."""
+        perf.validate_document(self._doc_with_suite(doc))
+
+    def test_well_formed_overhead_is_valid(self, doc):
+        perf.validate_document(
+            self._doc_with_suite(doc, overhead=self._overhead()))
+
+    def test_rejects_non_object_overhead(self, doc):
+        broken = self._doc_with_suite(doc, overhead=[1])
+        with pytest.raises(ValueError, match="suite.overhead is not"):
+            perf.validate_document(broken)
+
+    def test_rejects_missing_overhead_field(self, doc):
+        overhead = self._overhead()
+        del overhead["transfer_seconds"]
+        broken = self._doc_with_suite(doc, overhead=overhead)
+        with pytest.raises(ValueError,
+                           match="suite.overhead: missing field"):
+            perf.validate_document(broken)
+
+    def test_rejects_negative_overhead_field(self, doc):
+        broken = self._doc_with_suite(
+            doc, overhead=self._overhead(spawn_seconds=-0.1))
+        with pytest.raises(ValueError, match="'spawn_seconds' is "
+                                             "negative"):
+            perf.validate_document(broken)
+
+    def test_rejects_bool_overhead_counter(self, doc):
+        broken = self._doc_with_suite(
+            doc, overhead=self._overhead(jobs_executed=True))
+        with pytest.raises(ValueError,
+                           match="suite.overhead: field 'jobs_executed'"):
             perf.validate_document(broken)
 
 

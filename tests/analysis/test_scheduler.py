@@ -123,6 +123,87 @@ class TestPoolScheduler:
         scheduler.close()
 
 
+def sleepy_identity(x, delay=0.01):
+    import time
+    time.sleep(delay)
+    return x
+
+
+def warm_stamp(directory):
+    """Warmup hook: leave one stamp file per warmed worker process."""
+    import os
+    import pathlib
+    pathlib.Path(directory, f"warm-{os.getpid()}").touch()
+
+
+class TestStreamingAndStats:
+    """The persistent pool streams completions (no wave barriers) and
+    accounts its overhead into ``SchedulerStats``."""
+
+    def test_serial_counts_jobs_without_pool_overhead(self):
+        scheduler = Scheduler(jobs=1)
+        scheduler.run(make_graph())
+        assert scheduler.stats.jobs_executed == 3
+        assert scheduler.stats.spawn_seconds == 0.0
+        assert scheduler.stats.worker_seconds == 0.0
+
+    def test_pool_stats_accumulate_per_job(self):
+        with Scheduler(jobs=2) as scheduler:
+            scheduler.run(make_graph())
+            scheduler.run(make_graph())
+            stats = scheduler.stats
+        assert stats.jobs_executed == 6
+        assert stats.spawn_seconds > 0.0  # pool created exactly once
+        assert stats.worker_seconds > 0.0
+        assert stats.transfer_seconds >= 0.0
+        assert stats.merge_seconds >= 0.0
+
+    def test_as_dict_is_the_bench_overhead_shape(self):
+        with Scheduler(jobs=2) as scheduler:
+            scheduler.run(make_graph())
+            snapshot = scheduler.stats.as_dict()
+        assert set(snapshot) == {"jobs_executed", "spawn_seconds",
+                                 "worker_seconds", "transfer_seconds",
+                                 "merge_seconds"}
+        assert snapshot["jobs_executed"] == 3
+
+    def test_deep_dependency_chain_streams_in_order(self):
+        """A diamond-with-tail graph merges deterministically even when
+        completions arrive out of submission order."""
+        graph = JobGraph()
+        graph.add("slow", sleepy_identity, 1, 0.05)
+        graph.add("quick", sleepy_identity, 2, 0.0)
+        graph.add("join", combine, "j", deps=("slow", "quick"))
+        graph.add("tail", combine, "t", deps=("join",))
+        serial = Scheduler(jobs=1).run(graph)
+        graph2 = JobGraph()
+        graph2.add("slow", sleepy_identity, 1, 0.05)
+        graph2.add("quick", sleepy_identity, 2, 0.0)
+        graph2.add("join", combine, "j", deps=("slow", "quick"))
+        graph2.add("tail", combine, "t", deps=("join",))
+        with Scheduler(jobs=2) as scheduler:
+            parallel = scheduler.run(graph2)
+        assert parallel == serial
+        assert list(parallel) == list(serial)
+
+    def test_warmup_runs_once_per_worker(self, tmp_path):
+        with Scheduler(jobs=2,
+                       warmup=(warm_stamp, (str(tmp_path),))) as scheduler:
+            scheduler.run(make_graph())
+            scheduler.run(make_graph())
+        assert len(list(tmp_path.glob("warm-*"))) == 2
+
+    def test_bare_callable_warmup(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with Scheduler(jobs=2, warmup=warm_cwd_stamp) as scheduler:
+            scheduler.map(square, [(1,), (2,)])
+        assert list(tmp_path.glob("warm-*"))
+
+
+def warm_cwd_stamp():
+    warm_stamp(".")
+
+
 class TestShutdownPaths:
     """close() drains workers gracefully; terminate() is the error path."""
 

@@ -95,3 +95,56 @@ class TestFootprintPieces:
             mapping.put(i, i)
         internals = list(mapping.adt_internal_ids())
         assert len(internals) == 6  # table + 5 entries
+
+
+class TestIncrementalBookkeeping:
+    """The O(1) ``used_bytes`` occupancy counter and the version-token
+    caches must stay exact against brute-force recomputation through
+    every structural mutation (insert, overwrite, remove, resize,
+    clear)."""
+
+    def _occupied_recount(self, table):
+        return sum(1 for bucket in table._buckets if bucket)
+
+    def _exercise(self, table, mutate_steps):
+        version = table.footprint_version
+        for step, bumps in mutate_steps:
+            step()
+            assert table._occupied == self._occupied_recount(table), \
+                "occupancy counter drifted"
+            if bumps:
+                assert table.footprint_version != version, \
+                    "structural mutation did not bump the version token"
+            else:
+                assert table.footprint_version == version, \
+                    "non-structural mutation bumped the version token"
+            version = table.footprint_version
+
+    def test_occupied_and_version_track_every_mutation(self, vm):
+        mapping = HashMapImpl(vm, initial_capacity=4)
+        table = mapping._table
+        steps = [(lambda i=i: mapping.put(i, i), True)
+                 for i in range(20)]                    # inserts + resizes
+        steps.append((lambda: mapping.put(3, 99), False))  # value overwrite
+        steps += [(lambda i=i: mapping.remove_key(i), True)
+                  for i in range(0, 20, 3)]
+        steps.append((lambda: mapping.clear(), True))
+        self._exercise(table, steps)
+
+    def test_internal_ids_cache_is_exact(self, vm):
+        mapping = HashMapImpl(vm, initial_capacity=4)
+        table = mapping._table
+
+        def fresh_ids():
+            return [table._table_obj.obj_id] \
+                + [entry.heap_obj.obj_id for entry in table._order]
+
+        for i in range(25):
+            mapping.put(i, i)
+            assert table.internal_ids() == fresh_ids()
+        cached = table.internal_ids()
+        assert table.internal_ids() is cached  # stable until mutation
+        mapping.remove_key(7)
+        assert table.internal_ids() == fresh_ids()
+        mapping.clear()
+        assert table.internal_ids() == fresh_ids()

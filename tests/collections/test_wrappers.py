@@ -272,3 +272,73 @@ class TestPolicyIntegration:
         vm.policy = _FixedPolicy(ImplementationChoice("ArrayMap"))
         mapping = ChameleonMap(vm, src_type="HashMap", impl="LinkedHashMap")
         assert mapping.impl.IMPL_NAME == "LinkedHashMap"
+
+
+class TestFootprintCaching:
+    """Wrapper-level footprint/internal-id caching, keyed on the impl's
+    ``adt_footprint_token``: exact through mutations, invalidated by
+    swaps, bypassed (token ``None``) for impls without a version."""
+
+    def _fresh_triple(self, wrapper):
+        inner = wrapper.impl.adt_footprint()
+        return (inner.live + wrapper.heap_obj.size,
+                inner.used + wrapper.heap_obj.size,
+                inner.core)
+
+    def _fresh_ids(self, wrapper):
+        return [wrapper.impl.anchor_id] + list(wrapper.impl.adt_internal_ids())
+
+    def _assert_exact(self, wrapper):
+        triple = wrapper.adt_footprint()
+        assert (triple.live, triple.used, triple.core) \
+            == self._fresh_triple(wrapper)
+        assert list(wrapper.adt_internal_ids()) == self._fresh_ids(wrapper)
+
+    def test_hash_map_cache_exact_across_mutations(self, vm):
+        mapping = ChameleonMap(vm)
+        for i in range(30):
+            mapping.put(f"k{i}", i)
+            self._assert_exact(mapping)
+        mapping.put("k3", "overwritten")      # non-structural
+        self._assert_exact(mapping)
+        mapping.remove_key("k0")
+        self._assert_exact(mapping)
+        mapping.clear()
+        self._assert_exact(mapping)
+
+    def test_cache_hit_returns_same_objects(self, vm):
+        mapping = ChameleonMap(vm)
+        mapping.put("a", 1)
+        first = mapping.adt_footprint()
+        ids = mapping.adt_internal_ids()
+        assert mapping.adt_footprint() is first
+        assert mapping.adt_internal_ids() is ids
+        mapping.put("b", 2)
+        assert mapping.adt_footprint() is not first
+
+    def test_swap_invalidates_the_cache(self, vm):
+        mapping = ChameleonMap(vm)
+        for i in range(4):
+            mapping.put(i, i)
+        self._assert_exact(mapping)
+        mapping.swap_to("ArrayMap")
+        assert mapping.impl.adt_footprint_token() is None
+        self._assert_exact(mapping)
+        mapping.swap_to("HashMap")
+        self._assert_exact(mapping)
+
+    def test_tokenless_impl_recomputes_every_time(self, vm):
+        lst = ChameleonList(vm)  # ArrayList: no version token
+        assert lst.impl.adt_footprint_token() is None
+        lst.add_all([1, 2, 3])
+        before = lst.adt_footprint()
+        assert lst.adt_footprint() is not before  # no caching
+        self._assert_exact(lst)
+
+    def test_size_adapting_token_delegates_to_inner(self, vm):
+        mapping = ChameleonMap(vm, impl="SizeAdaptingMap")
+        assert mapping.impl.adt_footprint_token() is None  # array inner
+        for i in range(40):  # force conversion to the hash inner
+            mapping.put(i, i)
+        assert mapping.impl.adt_footprint_token() is not None
+        self._assert_exact(mapping)

@@ -55,6 +55,11 @@ class TestFingerprint:
         "top_contexts_to_apply": 5,
     }
 
+    # Fields that deliberately do NOT alter the fingerprint: they change
+    # wall-clock behaviour only, never the simulated run, so sessions
+    # cached under one value stay valid under another.
+    EXCLUDED = {"gc_core"}
+
     def test_equal_configs_equal_fingerprints(self):
         assert ToolConfig().fingerprint() == ToolConfig().fingerprint()
         assert ToolConfig(context_depth=3).fingerprint() \
@@ -69,11 +74,22 @@ class TestFingerprint:
 
         base = ToolConfig().fingerprint()
         field_names = {f.name for f in dataclasses.fields(ToolConfig)}
-        assert field_names == set(self.CHANGED), \
-            "CHANGED must cover every ToolConfig field"
+        assert field_names == set(self.CHANGED) | self.EXCLUDED, \
+            "CHANGED/EXCLUDED must cover every ToolConfig field"
         for name, value in self.CHANGED.items():
             changed = ToolConfig(**{name: value}).fingerprint()
             assert changed != base, f"field {name!r} not in fingerprint"
+
+    def test_gc_core_does_not_alter_the_fingerprint(self):
+        """All GC cores are byte-identical, so cached sessions must be
+        shared across them."""
+        base = ToolConfig().fingerprint()
+        assert ToolConfig(gc_core="reference").fingerprint() == base
+        assert ToolConfig(gc_core="vector").fingerprint() == base
+
+    def test_gc_core_validation(self):
+        with pytest.raises(ValueError):
+            ToolConfig(gc_core="warp")
 
 
 class TestPlumbing:

@@ -105,6 +105,57 @@ class TestDiskSpill:
         assert len(cache) == 1
 
 
+class TestBackingStore:
+    """The content-addressed per-entry store behind the in-memory cache:
+    puts write through, misses read through (and promote), so scheduler
+    workers sharing one store directory share sessions."""
+
+    def test_put_writes_through(self, tool, cache, tmp_path):
+        from repro.analysis.index import SessionStore
+
+        store = SessionStore(str(tmp_path / "store"))
+        cache.attach_store(store)
+        assert cache.backing_store is store
+        tool.profile(TvlaWorkload(scale=0.05))
+        key = SessionCache.key(ToolConfig(), TvlaWorkload(scale=0.05))
+        assert store.get(key) is not None
+
+    def test_miss_reads_through_and_promotes(self, tool, cache, tmp_path):
+        from repro.analysis.index import SessionStore
+
+        store_dir = str(tmp_path / "store")
+        cache.attach_store(SessionStore(store_dir))
+        first = tool.profile(TvlaWorkload(scale=0.05))
+
+        # A different process's cache: empty memory, same store.
+        other_cache = SessionCache()
+        other_cache.attach_store(SessionStore(store_dir))
+        other_tool = Chameleon(ToolConfig(), session_cache=other_cache)
+        reloaded = other_tool.profile(TvlaWorkload(scale=0.05))
+        assert other_cache.hits == 1
+        assert other_cache.store_hits == 1
+        assert reloaded.metrics == first.metrics
+        assert len(other_cache) == 1  # promoted into memory
+        other_tool.profile(TvlaWorkload(scale=0.05))
+        assert other_cache.store_hits == 1  # second hit was in-memory
+
+    def test_clear_keeps_the_store_attached(self, cache, tmp_path):
+        from repro.analysis.index import SessionStore
+
+        store = SessionStore(str(tmp_path / "store"))
+        cache.attach_store(store)
+        cache.clear()
+        assert cache.backing_store is store
+        assert cache.store_hits == 0
+
+    def test_detach(self, cache, tmp_path):
+        from repro.analysis.index import SessionStore
+
+        cache.attach_store(SessionStore(str(tmp_path / "store")))
+        cache.detach_store()
+        assert cache.backing_store is None
+
+
 class TestSpillDurability:
     """A torn, truncated, or concurrent spill must never take down
     later runs: load treats damage as an empty cache with a warning, and
