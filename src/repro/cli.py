@@ -84,13 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the bundled workloads")
 
     def add_gc_core_arg(p):
-        # Exported as REPRO_GC_CORE before the command runs, so it also
-        # reaches scheduler workers (forked) and ToolConfig defaults.
+        # Exported as REPRO_GC_CORE / REPRO_VM_CORE before the command
+        # runs, so they also reach scheduler workers (forked), ToolConfig
+        # defaults and direct RuntimeEnvironment constructions.
         p.add_argument("--gc-core", choices=["reference", "fast", "vector"],
                        default=None,
                        help="mark/account core for the simulated GC "
                             "(byte-identical results; wall clock only; "
                             "default: $REPRO_GC_CORE or 'fast')")
+        p.add_argument("--vm-core", choices=["reference", "fast"],
+                       default=None,
+                       help="operation-pipeline core for the runtime "
+                            "(byte-identical results; wall clock only; "
+                            "default: $REPRO_VM_CORE or 'fast')")
 
     def add_workload_args(p):
         p.add_argument("workload", help="workload name (see 'list')")
@@ -159,13 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--scale", type=float, default=0.2,
                       help="workload scale for every benchmark")
     perf.add_argument("--repeats", type=int, default=3,
-                      help="runs per benchmark (best is reported)")
+                      help="runs per benchmark (the median wall clock "
+                           "is reported; every repeat is recorded)")
     perf.add_argument("--seed", type=int, default=2009)
     perf.add_argument("--output", default=None, metavar="PATH",
                       help="write the JSON document here "
                            "(default benchmarks/perf/BENCH_chameleon.json)")
     perf.add_argument("--no-gc-heavy", action="store_true",
                       help="skip the GC-stress configuration")
+    perf.add_argument("--no-vm-cores", action="store_true",
+                      help="skip the reference-vs-fast operation-"
+                           "pipeline comparison section")
     perf.add_argument("--check", metavar="PATH", default=None,
                       help="validate an existing BENCH json and exit")
     perf.add_argument("--baseline", metavar="PATH", default=None,
@@ -422,7 +432,8 @@ def _cmd_perf(args) -> str:
                          include_gc_heavy=not args.no_gc_heavy,
                          suite_jobs=args.jobs if args.suite else None,
                          suite_scale=args.suite_scale,
-                         suite_resolution=args.suite_resolution)
+                         suite_resolution=args.suite_resolution,
+                         include_vm_cores=not args.no_vm_cores)
     wall_seconds = time.perf_counter() - start
     output = args.output
     if output is None:
@@ -649,6 +660,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         import os
 
         os.environ["REPRO_GC_CORE"] = args.gc_core
+    if getattr(args, "vm_core", None):
+        import os
+
+        os.environ["REPRO_VM_CORE"] = args.vm_core
     output = _COMMANDS[args.command](args)
     print(output)
     return 0

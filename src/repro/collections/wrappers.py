@@ -47,6 +47,22 @@ class ChameleonCollection:
     KIND: CollectionKind
     DEFAULT_SRC_TYPE: str
 
+    #: Inline-cached dispatch plan (``vm_core="fast"`` only).  ``None``
+    #: means "stale": the next recorded op rebuilds it.  Kept as a class
+    #: default so reference instances carry it for free and ``swap_to``
+    #: can invalidate unconditionally.
+    _plan: Optional[tuple] = None
+
+    def __new__(cls, vm: "RuntimeEnvironment", *args: Any, **kwargs: Any):
+        # Core selection happens at construction: under the fast
+        # operation pipeline the concrete class is swapped for its
+        # inline-cached variant, so per-op dispatch pays no core check.
+        # getattr keeps duck-typed stand-in VMs (tests) on the
+        # reference path.
+        if getattr(vm, "vm_core", None) == "fast":
+            cls = _FAST_VARIANTS.get(cls, cls)
+        return object.__new__(cls)
+
     def __init__(self, vm: "RuntimeEnvironment", *,
                  src_type: Optional[str] = None,
                  initial_capacity: Optional[int] = None,
@@ -225,6 +241,9 @@ class ChameleonCollection:
         self.impl = new_impl
         self._fp_token = None
         self._ids_token = None
+        # The dispatch plan folds bound methods of the *old* impl;
+        # drop it so the next recorded op rebuilds against the new one.
+        self._plan = None
         self._migrate(old_impl, new_impl)
         self.heap_obj.remove_ref(old_impl.anchor_id)
         self.heap_obj.add_ref(new_impl.anchor_id)
@@ -593,3 +612,611 @@ class ChameleonMap(ChameleonCollection):
                  new_impl: CollectionImpl) -> None:
         for key, value in old_impl.iter_items():
             new_impl.put(key, value)
+
+
+# ----------------------------------------------------------------------
+# vm_core="fast": inline-cached dispatch variants
+# ----------------------------------------------------------------------
+#
+# One subclass per wrapper kind, selected by ChameleonCollection.__new__
+# when the owning VM runs the fast operation pipeline.  Each recorded op
+# goes through a per-instance *plan*: a tuple built lazily on first use
+# that folds everything the reference `_record` -> charge -> record_op ->
+# impl-op -> `_after_mutation` chain re-derives on every call.
+#
+# Plan layout (shared prefix, then kind-specific bound impl methods):
+#
+#   plan[0]  stamp        vm.dispatch_stamp captured at build time; the
+#                         op path rebuilds when the VM bumped it
+#                         (set_tracer / enable_profiling /
+#                         disable_profiling), and swap_to resets the
+#                         plan to None directly.
+#   plan[1]  clock        vm.clock -- per-op constants are added to its
+#                         `pending` accumulator (flushed at every
+#                         vm.now read; see VMClock).
+#   plan[2]  ticks        wrapper_delegation (+ profile_op when the
+#                         instance is profiled), validated non-negative
+#                         once at build time.
+#   plan[3]  counts       the ObjectContextInfo's dense counter array,
+#                         or None for unprofiled instances.
+#   plan[4]  oci          the ObjectContextInfo itself, or None.
+#   plan[5]  add_root     vm.add_root   (argument pinning, refcounted).
+#   plan[6]  remove_root  vm.remove_root.
+#   plan[7:] bound impl methods, one slot per recorded operation of the
+#            kind (invalidated with the plan on swap_to).
+#
+# Byte-identity discipline mirrors the reference chain exactly: ticks
+# are charged and the op counter incremented *before* the impl call (a
+# raising op stays counted, as in `_record`), the size watermark is
+# updated *after* it, and heap-object arguments are rooted for the span
+# of the delegated operation in argument order.  Bulk operations
+# (add_all, put_all, ...) and everything else not overridden here
+# inherit the reference methods -- interleaving immediate `charge`
+# calls with batched `pending` adds commutes, so mixing the two lanes
+# is unobservable.
+
+_OP_SIZE = Op.SIZE.index
+_OP_IS_EMPTY = Op.IS_EMPTY.index
+_OP_CLEAR = Op.CLEAR.index
+_OP_ITERATE = Op.ITERATE.index
+_OP_ITER_EMPTY = Op.ITER_EMPTY.index
+
+
+class _FastDispatchMixin:
+    """Shared plan machinery + the kind-agnostic recorded operations."""
+
+    def __init__(self, vm: "RuntimeEnvironment", *,
+                 src_type: Optional[str] = None,
+                 initial_capacity: Optional[int] = None,
+                 context: Optional[ContextKey] = None,
+                 impl: Optional[str] = None,
+                 copy_from: Optional["ChameleonCollection"] = None,
+                 registry: Optional[ImplementationRegistry] = None,
+                 use_shared_empty_iterator: bool = False,
+                 impl_kwargs: Optional[Dict[str, Any]] = None) -> None:
+        """Byte-identical twin of :meth:`ChameleonCollection.__init__`.
+
+        Same events in the same order (sampling decision, context
+        capture, policy consultation, impl creation, profiler
+        registration, wrapper heap allocation, adoption, copy fill,
+        tracer callback) with the constant-per-VM work hoisted: the
+        wrapper object size is computed once per VM, and the policy /
+        context helper frames are inlined for the policy-free common
+        case.  The differential vm-core tests hold the two constructors
+        to the same observables.
+        """
+        self.vm = vm
+        self.registry = registry = registry or default_registry()
+        self.src_type = src_type = src_type or self.DEFAULT_SRC_TYPE
+        self.use_shared_empty_iterator = use_shared_empty_iterator
+        self._explicit_capacity = initial_capacity
+
+        profiler = vm.profiler
+        if vm.profiling_enabled:
+            profile = profiler.should_sample(src_type)
+            if not profile:
+                profiler.on_unsampled_allocation(src_type)
+        else:
+            profile = False
+
+        # Not inlined: capture_context charges per *walked* stack frame
+        # (internal frames included), so the helper frame is part of the
+        # priced semantics -- eliding it would change the tick total.
+        self.context_id = context_id = self._resolve_context(context,
+                                                             profile)
+        policy = vm.policy
+
+        impl_name = impl
+        capacity = initial_capacity
+        if policy is None:
+            merged_kwargs = impl_kwargs
+        else:
+            choice = vm.choose_implementation(src_type, context_id)
+            merged_kwargs = dict(impl_kwargs or {})
+            if choice is not None:
+                if impl_name is None and choice.impl_name is not None:
+                    impl_name = choice.impl_name
+                if choice.initial_capacity is not None:
+                    capacity = choice.initial_capacity
+                if choice.impl_kwargs:
+                    merged_kwargs.update(choice.impl_kwargs)
+        if impl_name is None:
+            impl_name = registry.default_impl_for(src_type)
+
+        if merged_kwargs:
+            self.impl = registry.create(
+                vm, impl_name, kind=self.KIND, initial_capacity=capacity,
+                context_id=context_id, **merged_kwargs)
+        else:
+            self.impl = registry.create(
+                vm, impl_name, kind=self.KIND, initial_capacity=capacity,
+                context_id=context_id)
+
+        self._fp_token = None
+        self._fp_triple = None
+        self._ids_token = None
+        self._ids_list = []
+
+        self._oci = None
+        on_death = None
+        if profile:
+            oci = self._oci = profiler.on_allocation(
+                context_id, src_type, impl_name,
+                initial_capacity=initial_capacity)
+            on_death = lambda heap_obj: profiler.on_death(oci)
+
+        try:
+            wrapper_size = vm._wrapper_size
+        except AttributeError:
+            wrapper_size = vm._wrapper_size = \
+                vm.model.object_size(ref_fields=1)
+        heap_obj = self.heap_obj = vm.allocate(
+            src_type, wrapper_size, payload=self,
+            context_id=context_id, on_death=on_death)
+        heap_obj.add_ref(self.impl.anchor_id)
+        self.impl.adopt()
+
+        if copy_from is not None:
+            self._fill_from(copy_from)
+
+        tracer = vm.tracer
+        if tracer is not None:
+            tracer.on_collection_created(self)
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _plan_prefix(self) -> tuple:
+        vm = self.vm
+        costs = vm.costs
+        oci = self._oci
+        delegation = costs.wrapper_delegation
+        profile_op = costs.profile_op if oci is not None else 0
+        if delegation < 0 or profile_op < 0:
+            # The reference path surfaces negative ablation constants
+            # through the validated VMClock.charge on the op itself;
+            # a batched accumulator must never go negative silently.
+            raise ValueError("cannot charge negative ticks")
+        counts = oci.counts if oci is not None else None
+        # Root pins bind the heap's methods directly: vm.add_root /
+        # vm.remove_root are pure one-line delegates to them.
+        heap = vm.heap
+        return (vm.dispatch_stamp, vm.clock, delegation + profile_op,
+                counts, oci, heap.add_root, heap.remove_root)
+
+    def _build_plan(self) -> tuple:  # pragma: no cover - kind-specific
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Kind-agnostic recorded operations
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Recorded ``size()`` operation."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_OP_SIZE] += 1
+        return self.impl.size
+
+    def is_empty(self) -> bool:
+        """Recorded ``isEmpty()`` operation."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_OP_IS_EMPTY] += 1
+        return self.impl.is_empty
+
+    def clear(self) -> None:
+        """Recorded ``clear()`` operation."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        impl = self.impl
+        impl.clear()
+        oci = plan[4]
+        if oci is not None:
+            # clear() cannot fail mid-way, so count + size fuse into
+            # one post-op call.
+            oci.record_op_size(_OP_CLEAR, impl.size)
+
+    def iterate(self) -> CollectionIterator:
+        """Recorded iterator creation over the collection's values."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        impl = self.impl
+        empty = impl.is_empty
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_OP_ITERATE] += 1
+            if empty:
+                counts[_OP_ITER_EMPTY] += 1
+        return make_iterator(self.vm, impl.iter_values(), empty=empty,
+                             use_shared_empty=self.use_shared_empty_iterator,
+                             context_id=self.context_id)
+
+
+class _FastChameleonList(_FastDispatchMixin, ChameleonList):
+    """``ChameleonList`` with inline-cached op dispatch."""
+
+    def _build_plan(self) -> tuple:
+        impl = self.impl
+        plan = self._plan_prefix() + (
+            impl.add, impl.add_at, impl.get, impl.set_at, impl.remove_at,
+            impl.remove_first, impl.remove_value, impl.contains,
+            impl.index_of)
+        self._plan = plan
+        return plan
+
+    def add(self, value: Any, _idx: int = Op.ADD.index) -> None:
+        """Append ``value`` (``add(Object)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        if isinstance(value, HeapObject):
+            plan[5](value)
+            try:
+                plan[7](value)
+            finally:
+                plan[6](value)
+        else:
+            plan[7](value)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+
+    def add_at(self, index: int, value: Any,
+               _idx: int = Op.ADD_INDEX.index) -> None:
+        """Insert at position (``add(int, Object)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        if isinstance(value, HeapObject):
+            plan[5](value)
+            try:
+                plan[8](index, value)
+            finally:
+                plan[6](value)
+        else:
+            plan[8](index, value)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+
+    def get(self, index: int, _idx: int = Op.GET_INDEX.index) -> Any:
+        """Positional read (``get(int)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        return plan[9](index)
+
+    def set_at(self, index: int, value: Any,
+               _idx: int = Op.SET_INDEX.index) -> Any:
+        """Positional replace (``set(int, Object)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        old = plan[10](index, value)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return old
+
+    def remove_at(self, index: int,
+                  _idx: int = Op.REMOVE_INDEX.index) -> Any:
+        """Positional removal (``remove(int)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        old = plan[11](index)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return old
+
+    def remove_first(self, _idx: int = Op.REMOVE_FIRST.index) -> Any:
+        """Head removal (``removeFirst()``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        old = plan[12]()
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return old
+
+    def remove_value(self, value: Any,
+                     _idx: int = Op.REMOVE_OBJECT.index) -> bool:
+        """First-occurrence removal (``remove(Object)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        removed = plan[13](value)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return removed
+
+    def contains(self, value: Any, _idx: int = Op.CONTAINS.index) -> bool:
+        """Membership test (``contains(Object)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        return plan[14](value)
+
+    def index_of(self, value: Any, _idx: int = Op.INDEX_OF.index) -> int:
+        """First-occurrence search (``indexOf(Object)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        return plan[15](value)
+
+
+class _FastChameleonSet(_FastDispatchMixin, ChameleonSet):
+    """``ChameleonSet`` with inline-cached op dispatch."""
+
+    def _build_plan(self) -> tuple:
+        impl = self.impl
+        plan = self._plan_prefix() + (
+            impl.add, impl.remove_value, impl.contains)
+        self._plan = plan
+        return plan
+
+    def add(self, value: Any, _idx: int = Op.ADD.index) -> bool:
+        """Insert ``value``; False if already present."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        if isinstance(value, HeapObject):
+            plan[5](value)
+            try:
+                added = plan[7](value)
+            finally:
+                plan[6](value)
+        else:
+            added = plan[7](value)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return added
+
+    def remove_value(self, value: Any,
+                     _idx: int = Op.REMOVE_OBJECT.index) -> bool:
+        """Remove ``value``; True if it was present."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        removed = plan[8](value)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return removed
+
+    def contains(self, value: Any, _idx: int = Op.CONTAINS.index) -> bool:
+        """Membership test."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        return plan[9](value)
+
+
+class _FastChameleonMap(_FastDispatchMixin, ChameleonMap):
+    """``ChameleonMap`` with inline-cached op dispatch."""
+
+    def _build_plan(self) -> tuple:
+        impl = self.impl
+        plan = self._plan_prefix() + (
+            impl.put, impl.get, impl.remove_key, impl.contains_key,
+            impl.contains_value)
+        self._plan = plan
+        return plan
+
+    def put(self, key: Any, value: Any, _idx: int = Op.PUT.index) -> Any:
+        """Associate ``key`` with ``value``; returns the previous value."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        key_pinned = isinstance(key, HeapObject)
+        value_pinned = isinstance(value, HeapObject)
+        if key_pinned or value_pinned:
+            if key_pinned:
+                plan[5](key)
+            if value_pinned:
+                plan[5](value)
+            try:
+                old = plan[7](key, value)
+            finally:
+                if key_pinned:
+                    plan[6](key)
+                if value_pinned:
+                    plan[6](value)
+        else:
+            old = plan[7](key, value)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return old
+
+    def get(self, key: Any, _idx: int = Op.GET_OBJECT.index) -> Any:
+        """Lookup (``get(Object)``)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        return plan[8](key)
+
+    def remove_key(self, key: Any, _idx: int = Op.REMOVE_KEY.index) -> Any:
+        """Remove ``key``'s mapping; returns the removed value."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        old = plan[9](key)
+        oci = plan[4]
+        if oci is not None:
+            size = self.impl.size
+            oci.final_size = size
+            if size > oci.max_size:
+                oci.max_size = size
+        return old
+
+    def contains_key(self, key: Any,
+                     _idx: int = Op.CONTAINS_KEY.index) -> bool:
+        """Key-membership test."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        return plan[10](key)
+
+    def contains_value(self, value: Any,
+                       _idx: int = Op.CONTAINS_VALUE.index) -> bool:
+        """Value-membership test (linear)."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_idx] += 1
+        return plan[11](value)
+
+    def iterate_items(self) -> CollectionIterator:
+        """Recorded iterator over ``(key, value)`` pairs."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        impl = self.impl
+        empty = impl.is_empty
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_OP_ITERATE] += 1
+            if empty:
+                counts[_OP_ITER_EMPTY] += 1
+        return make_iterator(self.vm, impl.iter_items(), empty=empty,
+                             use_shared_empty=self.use_shared_empty_iterator,
+                             context_id=self.context_id)
+
+    def iterate_keys(self) -> CollectionIterator:
+        """Recorded iterator over keys."""
+        plan = self._plan
+        if plan is None or plan[0] is not self.vm.dispatch_stamp:
+            plan = self._build_plan()
+        impl = self.impl
+        empty = impl.is_empty
+        plan[1].pending += plan[2]
+        counts = plan[3]
+        if counts is not None:
+            counts[_OP_ITERATE] += 1
+            if empty:
+                counts[_OP_ITER_EMPTY] += 1
+        return make_iterator(self.vm, impl.iter_keys(), empty=empty,
+                             use_shared_empty=self.use_shared_empty_iterator,
+                             context_id=self.context_id)
+
+
+#: Reference class -> fast variant, consulted by
+#: ``ChameleonCollection.__new__``.  Unlisted classes (including the
+#: fast variants themselves) construct as-is.
+_FAST_VARIANTS = {
+    ChameleonList: _FastChameleonList,
+    ChameleonSet: _FastChameleonSet,
+    ChameleonMap: _FastChameleonMap,
+}

@@ -318,7 +318,8 @@ class Chameleon:
             context_depth=self.config.context_depth,
             profiler=profiler,
             policy=policy,
-            gc_core=self.config.gc_core)
+            gc_core=self.config.gc_core,
+            vm_core=self.config.vm_core)
 
     def _make_profiler(self) -> SemanticProfiler:
         if self.config.sampling_rate <= 1:

@@ -60,6 +60,11 @@ class ToolConfig:
             The ``REPRO_GC_CORE`` environment variable overrides the
             default (that is how pool workers and CI legs select a core
             without threading it through every constructor).
+        vm_core: Which operation-pipeline core the runtime uses
+            ("reference" or "fast").  Exactly the ``gc_core`` contract
+            one layer up: byte-identical ticks, GC stats and profiler
+            reports under either core, wall-clock speed only, excluded
+            from :meth:`fingerprint`, defaulted from ``REPRO_VM_CORE``.
     """
 
     constants: Dict[str, float] = field(default_factory=dict)
@@ -76,6 +81,8 @@ class ToolConfig:
     top_contexts_to_apply: Optional[int] = None
     gc_core: str = field(
         default_factory=lambda: os.environ.get("REPRO_GC_CORE", "fast"))
+    vm_core: str = field(
+        default_factory=lambda: os.environ.get("REPRO_VM_CORE", "fast"))
 
     def __post_init__(self) -> None:
         if self.sampling_rate < 1:
@@ -87,6 +94,11 @@ class ToolConfig:
             raise ValueError(
                 f"gc_core must be one of {MarkSweepGC.CORES}, "
                 f"got {self.gc_core!r}")
+        from repro.runtime.vm import RuntimeEnvironment
+        if self.vm_core not in RuntimeEnvironment.VM_CORES:
+            raise ValueError(
+                f"vm_core must be one of {RuntimeEnvironment.VM_CORES}, "
+                f"got {self.vm_core!r}")
 
     def fingerprint(self) -> str:
         """A stable digest of every semantic field.
@@ -98,10 +110,11 @@ class ToolConfig:
         stable across processes and interpreter invocations.
         """
         payload = dataclasses.asdict(self)
-        # The GC core selection changes wall-clock speed only, never the
-        # simulated run; excluding it keeps session-cache entries shared
-        # across cores (and lets CI diff fast vs reference runs that hit
-        # the same cached sessions).
+        # The GC and VM core selections change wall-clock speed only,
+        # never the simulated run; excluding them keeps session-cache
+        # entries shared across cores (and lets CI diff fast vs
+        # reference runs that hit the same cached sessions).
         payload.pop("gc_core", None)
+        payload.pop("vm_core", None)
         canonical = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -24,7 +24,6 @@ Design notes
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar, Dict, Iterator, Optional
 
@@ -56,7 +55,12 @@ class HeapObject:
         type_name: The simulated Java type (``"HashMap"``, ``"Object[]"``,
             ``"LinkedList$Entry"``...).  Semantic maps key off this.
         size: Aligned size in bytes.
-        refs: Outgoing reference edges with multiplicity.
+        refs: Outgoing reference edges with multiplicity, as a plain
+            ``{target_id: count}`` dict.  (A ``collections.Counter`` would
+            read more naturally, but its Python-level ``__init__`` and
+            ``__missing__`` are measurable at one instance per allocation;
+            the two mutators below keep the zero-default semantics by
+            hand.)
         payload: Optional Python-side entity this object models.
         context_id: Allocation-context identity, when tracked.
         on_death: Optional callback invoked by the sweeper when freed.
@@ -65,7 +69,7 @@ class HeapObject:
     obj_id: int
     type_name: str
     size: int
-    refs: Counter = field(default_factory=Counter)
+    refs: Dict[int, int] = field(default_factory=dict)
     payload: Any = None
     context_id: Optional[int] = None
     on_death: Optional[Callable[["HeapObject"], None]] = None
@@ -85,7 +89,8 @@ class HeapObject:
 
     def add_ref(self, target_id: int) -> None:
         """Add one reference edge to ``target_id``."""
-        self.refs[target_id] += 1
+        refs = self.refs
+        refs[target_id] = refs.get(target_id, 0) + 1
         HeapObject.graph_epoch += 1
 
     def remove_ref(self, target_id: int) -> None:
@@ -134,7 +139,9 @@ class SimHeap:
         self.model = model or MemoryModel.for_32bit()
         self.limit = limit
         self._objects: Dict[int, HeapObject] = {}
-        self._roots: Counter = Counter()
+        # Root pin counts, {obj_id: count}; a plain dict for the same
+        # reason HeapObject.refs is one (see its docstring).
+        self._roots: Dict[int, int] = {}
         self._next_id = 1
         self._root_epoch = 0
         # Monotonic accounting across the whole run.
@@ -241,7 +248,8 @@ class SimHeap:
     # ------------------------------------------------------------------
     def add_root(self, obj: HeapObject) -> None:
         """Pin ``obj`` as a GC root (thread stack / static analog)."""
-        self._roots[obj.obj_id] += 1
+        roots = self._roots
+        roots[obj.obj_id] = roots.get(obj.obj_id, 0) + 1
         self._root_epoch += 1
 
     def remove_root(self, obj: HeapObject) -> None:

@@ -46,6 +46,9 @@ class ContextInfo:
         self.instances_allocated = 0
         self.instances_dead = 0
         self._op_stats: List[Optional[Welford]] = [None] * N_OPS
+        # Indices whose slot is live, so absorb visits only observed ops
+        # instead of scanning the whole vocabulary per instance.
+        self._active_ops: List[int] = []
         self.max_size_stats = Welford()
         self.final_size_stats = Welford()
         self.initial_capacity_stats = Welford()
@@ -80,23 +83,32 @@ class ContextInfo:
         prior_dead = self.instances_dead
         self.instances_dead += 1
         counts = info.counts
-        self.total_ops += sum(counts)
+        total = sum(counts)
+        self.total_ops += total
         self.swap_count += info.swap_count
         stats = self._op_stats
-        for index in range(N_OPS):
+        seen = 0
+        for index in self._active_ops:
             count = counts[index]
-            stat = stats[index]
-            if stat is None:
-                if count == 0:
-                    continue
-                stat = Welford()
-                # Backfill zeros for instances absorbed before this op
-                # was first seen, keeping all op aggregates over the same
-                # observation count.
-                for _ in range(prior_dead):
-                    stat.observe(0)
-                stats[index] = stat
-            stat.observe(count)
+            stats[index].observe(count)
+            seen += count
+        if seen != total:
+            # The instance performed an op with no aggregate yet: one
+            # vocabulary scan to create the missing slots.  (`seen` only
+            # equals `total` when every nonzero count hit an active
+            # slot, since counts are non-negative.)
+            for index in range(N_OPS):
+                count = counts[index]
+                if count and stats[index] is None:
+                    stat = Welford()
+                    # Backfill zeros for instances absorbed before this
+                    # op was first seen, keeping all op aggregates over
+                    # the same observation count.
+                    for _ in range(prior_dead):
+                        stat.observe(0)
+                    stat.observe(count)
+                    stats[index] = stat
+                    self._active_ops.append(index)
         self.max_size_stats.observe(info.max_size)
         self.final_size_stats.observe(info.final_size)
         if info.initial_capacity is not None:

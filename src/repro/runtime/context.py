@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["ContextFrame", "ContextKey", "ContextRegistry",
            "DEFAULT_CONTEXT_DEPTH", "TOPLEVEL_FRAME", "clear_capture_caches"]
@@ -101,9 +101,12 @@ interning an empty key would silently alias every such site into one
 context.
 """
 
-# id(code) -> (code, is_internal).  Holding the code object keeps its id
-# from being recycled, so the cached internality bit can never go stale.
-_code_cache: Dict[int, Tuple[Any, bool]] = {}
+# id(code) -> is_internal, with the code objects pinned in a side list
+# so an id can never be recycled and alias the cached internality bit.
+# (Two flat structures instead of one id -> (code, bool) dict: the hot
+# capture loop then reads a bare bool per frame.)
+_code_cache: Dict[int, bool] = {}
+_code_pins: List[Any] = []
 
 # (depth, code_id, f_lasti, code_id, f_lasti, ...) for every frame walked
 # -> the (ContextKey, frames_walked) that walk produced.  f_lasti pins the
@@ -115,6 +118,7 @@ _site_cache: Dict[Tuple[int, ...], Tuple[ContextKey, int]] = {}
 def clear_capture_caches() -> None:
     """Drop the capture memo (tests / benchmark hygiene)."""
     _code_cache.clear()
+    _code_pins.clear()
     _site_cache.clear()
 
 
@@ -137,40 +141,46 @@ def capture_context(depth: int = DEFAULT_CONTEXT_DEPTH,
         raising or aliasing distinct sites into an empty key.
     """
     try:
-        frame = sys._getframe(skip + 1)
+        top = sys._getframe(skip + 1)
     except ValueError:  # shallower than `skip` (thread/script entry point)
-        frame = None
-    retained = []
-    walked = 0
+        top = None
+    # Hot path: build only the memo signature -- one bool lookup and two
+    # list appends per frame.  The retained frames are re-walked (from
+    # the same, still-live stack) exclusively on a memo miss, i.e. once
+    # per distinct site.
     sig = [depth]
-    code_cache = _code_cache
-    while frame is not None and len(retained) < depth:
-        walked += 1
-        code = frame.f_code
-        code_id = id(code)
-        sig.append(code_id)
-        sig.append(frame.f_lasti)
-        entry = code_cache.get(code_id)
-        if entry is None:
+    append = sig.append
+    internal_of = _code_cache.get
+    retained = 0
+    frame = top
+    while frame is not None and retained < depth:
+        code_id = id(frame.f_code)
+        append(code_id)
+        append(frame.f_lasti)
+        internal = internal_of(code_id)
+        if internal is None:
             internal = _is_internal(frame.f_globals.get("__name__", "?"))
-            code_cache[code_id] = (code, internal)
-        else:
-            internal = entry[1]
+            _code_cache[code_id] = internal
+            _code_pins.append(frame.f_code)
         if not internal:
-            retained.append(frame)
+            retained += 1
         frame = frame.f_back
-    cache_key = tuple(sig)
-    cached = _site_cache.get(cache_key)
+    cached = _site_cache.get(tuple(sig))
     if cached is not None:
         return cached
-    frames = tuple(
-        ContextFrame(f"{f.f_globals.get('__name__', '?')}.{f.f_code.co_name}",
-                     f.f_lineno)
-        for f in retained)
-    if not frames:
-        frames = (TOPLEVEL_FRAME,)
-    result = (ContextKey(frames), walked)
-    _site_cache[cache_key] = result
+    walked = (len(sig) - 1) // 2
+    frames = []
+    frame = top
+    while frame is not None and len(frames) < depth:
+        if not _code_cache[id(frame.f_code)]:
+            frames.append(ContextFrame(
+                f"{frame.f_globals.get('__name__', '?')}"
+                f".{frame.f_code.co_name}",
+                frame.f_lineno))
+        frame = frame.f_back
+    result = (ContextKey(tuple(frames) if frames else (TOPLEVEL_FRAME,)),
+              walked)
+    _site_cache[tuple(sig)] = result
     return result
 
 

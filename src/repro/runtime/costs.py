@@ -103,10 +103,28 @@ class CostModel:
 
 
 class VMClock:
-    """Monotonic virtual clock accumulating tick charges."""
+    """Monotonic virtual clock accumulating tick charges.
+
+    Two charge lanes feed the same total:
+
+    * :meth:`charge` -- the validated call every reference-path component
+      uses;
+    * :attr:`pending` -- a plain integer accumulator the ``vm_core="fast"``
+      operation pipeline adds pre-validated constants to without a call.
+
+    Tick addition is commutative, so batching is unobservable as long as
+    ``pending`` is folded in before anyone reads the clock; :attr:`now`
+    (the *only* read point) does exactly that, which is what keeps the
+    fast pipeline byte-identical at every GC trigger, tracer callback,
+    timeline snapshot and end-of-run report.
+    """
 
     def __init__(self) -> None:
         self.ticks = 0
+        #: Batched charges not yet folded into :attr:`ticks`.  Writers
+        #: must only ever add non-negative amounts (the fast wrapper
+        #: plans validate their constants once, at plan-build time).
+        self.pending = 0
 
     def charge(self, ticks: int) -> None:
         """Advance the clock by ``ticks`` (must be non-negative)."""
@@ -114,10 +132,19 @@ class VMClock:
             raise ValueError("cannot charge negative ticks")
         self.ticks += ticks
 
+    def flush(self) -> None:
+        """Fold any batched :attr:`pending` charges into the total."""
+        if self.pending:
+            self.ticks += self.pending
+            self.pending = 0
+
     @property
     def now(self) -> int:
-        """Current virtual time."""
+        """Current virtual time (flushes batched charges first)."""
+        if self.pending:
+            self.ticks += self.pending
+            self.pending = 0
         return self.ticks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<VMClock {self.ticks} ticks>"
+        return f"<VMClock {self.ticks} ticks (+{self.pending} pending)>"

@@ -22,6 +22,7 @@ edit, and the re-run program pays nothing at runtime for it.
 
 from __future__ import annotations
 
+import os
 from typing import (TYPE_CHECKING, Any, Callable, List, Optional, Protocol,
                     Tuple, runtime_checkable)
 
@@ -103,6 +104,15 @@ class ReplacementPolicyProtocol(Protocol):
 class RuntimeEnvironment:
     """The simulated VM every workload and collection runs inside."""
 
+    #: Interchangeable operation-pipeline cores, mirroring
+    #: ``MarkSweepGC.CORES``: ``reference`` runs today's per-op loops
+    #: (kept as the executable spec), ``fast`` batches tick charges into
+    #: ``clock.pending`` and lets the collection wrappers dispatch
+    #: through per-instance inline-cached op plans.  Every core is
+    #: byte-identical in simulated observables (ticks, GC stats,
+    #: profiler reports); the selection trades wall-clock speed only.
+    VM_CORES = ("reference", "fast")
+
     def __init__(self,
                  model: Optional[MemoryModel] = None,
                  cost_model: Optional[CostModel] = None,
@@ -116,14 +126,17 @@ class RuntimeEnvironment:
                  gc_overhead_limit: int = 4,
                  collector_factory: Optional[Callable[..., MarkSweepGC]]
                  = None,
-                 gc_core: Optional[str] = None) -> None:
+                 gc_core: Optional[str] = None,
+                 vm_core: Optional[str] = None) -> None:
         self.model = model or MemoryModel.for_32bit()
         self.costs = cost_model or CostModel()
         self.clock = VMClock()
-        # Shortcut the charge chain: `vm.charge` is the clock's bound
-        # method, saving a Python frame on the hottest call in the run
-        # phase.  The def below remains as documentation and for
-        # subclasses that override __init__.
+        # Shortcut the charge chain: `vm.charge` IS the clock's bound
+        # `charge` method (an instance attribute, not a def on this
+        # class), saving a Python frame on one of the hottest calls in
+        # the run phase.  There is deliberately no `def charge` below:
+        # a method would be dead code permanently shadowed by this
+        # binding.
         self.charge = self.clock.charge
         self.heap = SimHeap(self.model, limit=heap_limit)
         self.semantic_maps = SemanticMapRegistry()
@@ -158,23 +171,52 @@ class RuntimeEnvironment:
         # wrapper's operations without charging ticks, so a recorded run
         # is byte-identical to a plain one.
         self.tracer: Optional[Any] = None
+        # Operation-pipeline core selection.  The environment variable
+        # mirrors REPRO_GC_CORE: it is how pool workers, CI legs and
+        # direct RuntimeEnvironment() constructions pick a core without
+        # threading it through every call site.
+        if vm_core is None:
+            vm_core = os.environ.get("REPRO_VM_CORE", "fast")
+        if vm_core not in self.VM_CORES:
+            raise ValueError(f"vm_core must be one of {self.VM_CORES}, "
+                             f"got {vm_core!r}")
+        self.vm_core = vm_core
+        # Structural version token for the wrappers' inline-cached op
+        # plans (the adt_footprint_token idea applied to dispatch):
+        # plans capture the current stamp at build time and rebuild
+        # whenever it moved.  Bumped by set_tracer and the profiling
+        # toggles -- anything that could change what a recorded op must
+        # do.  `object()` gives a fresh, never-reused identity.
+        self.dispatch_stamp: object = object()
+        if (vm_core == "fast" and self.costs.alloc_base >= 0
+                and self.costs.alloc_per_16_bytes >= 0):
+            # Same instance-attribute trick as `charge`: the fast
+            # allocation path shadows the reference `allocate` def,
+            # which stays below as the executable spec (and serves the
+            # reference core plus the fast path's own rare branches).
+            # Negative ablation constants keep the reference def so the
+            # validated `charge` raises exactly as it always has.
+            self._install_fast_allocate()
         for hook in _vm_created_hooks:
             hook(self)
 
     def set_tracer(self, tracer: Optional[Any]) -> None:
         """Install (or clear, with ``None``) a collection trace recorder."""
         self.tracer = tracer
+        self.dispatch_stamp = object()
 
     # ------------------------------------------------------------------
     # Time
     # ------------------------------------------------------------------
-    def charge(self, ticks: int) -> None:
-        """Advance the virtual clock."""
-        self.clock.charge(ticks)
-
     @property
     def now(self) -> int:
-        """Current virtual time in ticks."""
+        """Current virtual time in ticks.
+
+        This is the simulation's *only* clock read point; it flushes any
+        batched fast-path charges first, so every observer (GC cycle
+        stamps, timeline snapshots, run metrics) sees the same total the
+        reference core would have accumulated charge by charge.
+        """
         return self.clock.now
 
     # ------------------------------------------------------------------
@@ -226,6 +268,73 @@ class RuntimeEnvironment:
         self.charge(self.costs.allocation_ticks(aligned))
         return self.heap.allocate(type_name, aligned, payload=payload,
                                   context_id=context_id, on_death=on_death)
+
+    def _install_fast_allocate(self) -> None:
+        """Install the ``vm_core="fast"`` twin of :meth:`allocate`.
+
+        Byte-identical semantics with the per-allocation call chain
+        (``model.align`` -> ``gc.collecting`` -> ``would_overflow`` ->
+        ``allocation_ticks`` -> ``charge`` -> ``heap.allocate``) folded
+        into local arithmetic, one batched ``clock.pending`` add, and an
+        inlined heap store (``self.heap`` shares ``self.model``, so the
+        alignment below is exactly the one ``SimHeap.allocate`` would
+        re-apply; the store mirrors its body field for field, with the
+        :class:`HeapObject` built by direct attribute stores --
+        ``test_fast_allocate_matches_reference_fields`` pins the field
+        list).  The twin is a closure over everything that is fixed for
+        the VM's lifetime (heap, gc, clock, cost constants, alignment
+        mask); ``gc_threshold_bytes`` and ``_bytes_since_gc`` stay live
+        attribute reads because callers mutate them mid-run.  Every rare
+        branch -- a byte-limited heap, allocation from inside a death
+        hook, a negative size -- delegates to the reference def above,
+        which remains the executable spec for exactly that reason.
+        """
+        vm = self
+        heap = self.heap
+        gc = self.gc
+        clock = self.clock
+        objects = heap._objects
+        mask = self.model.alignment - 1
+        alloc_base = self.costs.alloc_base
+        alloc_per_16 = self.costs.alloc_per_16_bytes
+        reference_allocate = RuntimeEnvironment.allocate
+        new_object = HeapObject.__new__
+
+        def allocate(type_name: str, size: int, *,
+                     payload: Any = None,
+                     context_id: Optional[int] = None,
+                     on_death: Optional[Callable[[HeapObject], None]]
+                     = None) -> HeapObject:
+            if heap.limit is not None or gc.collecting or size < 0:
+                return reference_allocate(
+                    vm, type_name, size, payload=payload,
+                    context_id=context_id, on_death=on_death)
+            aligned = (size + mask) & ~mask
+            threshold = vm.gc_threshold_bytes
+            if threshold is not None and vm._bytes_since_gc >= threshold:
+                # collect() resets _bytes_since_gc and, via the
+                # `tick=now` stamp, flushes pending charges -- the
+                # GC-trigger flush boundary of the batching contract.
+                vm.collect(major=False)
+            vm._bytes_since_gc += aligned
+            clock.pending += alloc_base + (aligned // 16) * alloc_per_16
+            obj = new_object(HeapObject)
+            obj.obj_id = obj_id = heap._next_id
+            obj.type_name = type_name
+            obj.size = aligned
+            obj.refs = {}
+            obj.payload = payload
+            obj.context_id = context_id
+            obj.on_death = on_death
+            obj.sm_version = 0
+            obj.sm_map = None
+            heap._next_id = obj_id + 1
+            objects[obj_id] = obj
+            heap.total_allocated_bytes += aligned
+            heap.total_allocated_objects += 1
+            return obj
+
+        self.allocate = allocate
 
     def allocate_data(self, type_name: str = "AppData", ref_fields: int = 0,
                       int_fields: int = 0,
@@ -308,6 +417,10 @@ class RuntimeEnvironment:
     # ------------------------------------------------------------------
     def finish(self) -> None:
         """End-of-run bookkeeping: final GC, flush live profiles."""
+        # Fold batched fast-path charges first (collect() would do it
+        # through its `tick=now` stamp anyway; being explicit keeps the
+        # end-of-run flush boundary visible and hook-order independent).
+        self.clock.flush()
         self.collect()
         if self.profiling_enabled:
             self.profiler.flush()
@@ -324,8 +437,10 @@ class RuntimeEnvironment:
         if profiler is not None:
             self.profiler = profiler
         self.profiling_enabled = True
+        self.dispatch_stamp = object()
         return self.profiler
 
     def disable_profiling(self) -> None:
         """Switch profiling off (the Fig. 7 timing configuration)."""
         self.profiling_enabled = False
+        self.dispatch_stamp = object()

@@ -538,6 +538,7 @@ def replay_trace(trace: Trace, impl_name: str,
                  registry: Optional[ImplementationRegistry] = None,
                  sanitize: bool = False,
                  gc_core: Optional[str] = None,
+                 vm_core: Optional[str] = None,
                  gc_detail: bool = False) -> ReplayResult:
     """Replay ``trace`` against ``impl_name`` in a fresh, isolated VM.
 
@@ -546,13 +547,15 @@ def replay_trace(trace: Trace, impl_name: str,
     An :class:`UnsupportedOperation`/``TypeError`` from the implementation
     records an ``unsup`` outcome and stops the replay (drop-out).
 
-    ``gc_core`` selects the collector's mark/account core for this
-    replay (default: the config default); with ``gc_detail`` the result
+    ``gc_core`` selects the collector's mark/account core and
+    ``vm_core`` the runtime's operation-pipeline core for this replay
+    (default: the config defaults); with ``gc_detail`` the result
     carries the replay's full GC observable record, so two replays can
-    be diffed core-against-core.
+    be diffed core-against-core along either axis.
     """
     registry = registry or default_registry()
-    vm = RuntimeEnvironment(gc_threshold_bytes=None, gc_core=gc_core)
+    vm = RuntimeEnvironment(gc_threshold_bytes=None, gc_core=gc_core,
+                            vm_core=vm_core)
     sanitizer = None
     if sanitize:
         from repro.verify.sanitizer import HeapSanitizer

@@ -16,6 +16,23 @@ def doc():
                           include_gc_heavy=False)
 
 
+class TestMedianIndex:
+    def test_single_repeat(self):
+        assert perf.median_index([4.2]) == 0
+
+    def test_odd_count_picks_the_middle(self):
+        assert perf.median_index([3.0, 1.0, 2.0]) == 2
+
+    def test_even_count_picks_the_lower_middle(self):
+        # Lower middle, so the reported wall and phases always come from
+        # one actual run rather than an average of two.
+        assert perf.median_index([4.0, 1.0, 3.0, 2.0]) == 3
+
+    def test_index_refers_to_the_unsorted_input(self):
+        walls = [0.9, 0.1, 0.5, 0.7, 0.3]
+        assert walls[perf.median_index(walls)] == 0.5
+
+
 class TestRunSuite:
     def test_document_is_schema_valid(self, doc):
         perf.validate_document(doc)  # must not raise
@@ -66,6 +83,169 @@ class TestRunSuite:
         text = perf.render_summary(doc)
         for record in doc["benchmarks"]:
             assert record["name"] in text
+
+
+class TestMedianOfRepeats:
+    """Schema v4: every record carries its per-repeat walls and reports
+    the median run (satellite: gate comparisons stop being
+    single-sample)."""
+
+    def test_records_carry_repeat_walls(self, doc):
+        for record in doc["benchmarks"]:
+            assert len(record["repeat_walls"]) == record["repeats"]
+            assert record["wall_seconds"] in record["repeat_walls"]
+
+    def test_reported_wall_is_the_median_repeat(self):
+        multi = perf.run_suite(scale=0.05, repeats=3,
+                               workloads=("tvla",),
+                               include_gc_heavy=False,
+                               include_vm_cores=False)
+        for record in multi["benchmarks"]:
+            walls = record["repeat_walls"]
+            assert len(walls) == 3
+            assert record["wall_seconds"] \
+                == walls[perf.median_index(walls)]
+
+
+class TestOpDispatchHeavy:
+    def test_record_shape(self):
+        record = perf._bench_op_dispatch_heavy(scale=0.02, repeats=1)
+        assert record.name == "op_dispatch_heavy"
+        assert record.workload == "synthetic"
+        assert record.ticks > 0
+        assert record.wall_seconds > 0
+        assert record.allocated_objects > 0
+
+    def test_deterministic_across_vm_cores(self):
+        """Pure tick counts: the microbenchmark measures the same
+        simulated work whichever op-pipeline core runs it."""
+        ticks = {perf._bench_op_dispatch_heavy(scale=0.02, repeats=1,
+                                               vm_core=core).ticks
+                 for core in ("reference", "fast")}
+        assert len(ticks) == 1, f"core-dependent ticks: {ticks}"
+
+    def test_included_in_the_gc_heavy_suite(self):
+        stressed = perf.run_suite(scale=0.05, repeats=1,
+                                  workloads=("tvla",),
+                                  include_gc_heavy=True,
+                                  include_vm_cores=False)
+        names = [r["name"] for r in stressed["benchmarks"]]
+        assert "op_dispatch_heavy" in names
+
+
+class TestVmCoresSection:
+    """The schema-v4 ``vm_cores`` section: reference-vs-fast op-pipeline
+    walls with the tick-identity contract asserted on every perf run."""
+
+    @pytest.fixture(scope="class")
+    def section(self):
+        return perf.run_vm_cores_section(scale=0.02, repeats=1)
+
+    def test_measures_both_benchmarks(self, section):
+        assert set(section["benchmarks"]) \
+            == {"pmd_capture_on", "op_dispatch_heavy"}
+        for entry in section["benchmarks"].values():
+            assert entry["reference_wall"] > 0
+            assert entry["fast_wall"] > 0
+            assert entry["speedup"] > 0
+
+    def test_ticks_are_identical(self, section):
+        """The byte-identity contract: a divergence here is a
+        correctness bug, not a perf result."""
+        for name, entry in section["benchmarks"].items():
+            assert entry["ticks_identical"] is True, (name, entry)
+
+    def test_records_the_runner_cpu_count(self, section):
+        assert section["cpu_count"] >= 1
+
+    def test_valid_inside_a_document(self, doc, section):
+        extended = copy.deepcopy(doc)
+        extended["vm_cores"] = section
+        perf.validate_document(extended)  # must not raise
+        assert "vm_cores pmd_capture_on" \
+            in perf.render_summary(extended)
+
+    def test_run_suite_attaches_the_section(self, doc):
+        # The shared fixture runs with the default include_vm_cores.
+        assert "vm_cores" in doc
+        perf.validate_document(doc)
+
+
+class TestVmCoresValidation:
+    def _doc_with_section(self, doc, **overrides):
+        extended = copy.deepcopy(doc)
+        extended["vm_cores"] = {
+            "scale": 0.02, "seed": 2009, "repeats": 1, "cpu_count": 4,
+            "benchmarks": {
+                "pmd_capture_on": {
+                    "reference_wall": 1.0, "fast_wall": 0.5,
+                    "speedup": 2.0, "ticks": 1000,
+                    "ticks_identical": True,
+                },
+            },
+        }
+        extended["vm_cores"].update(overrides)
+        return extended
+
+    def test_well_formed_section_is_valid(self, doc):
+        perf.validate_document(self._doc_with_section(doc))
+
+    def test_v3_document_without_section_stays_valid(self, doc):
+        v3 = copy.deepcopy(doc)
+        v3.pop("vm_cores", None)
+        v3["schema_version"] = 3
+        perf.validate_document(v3)
+
+    def test_rejects_non_object_section(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["vm_cores"] = [1, 2]
+        with pytest.raises(ValueError, match="vm_cores section is not"):
+            perf.validate_document(broken)
+
+    def test_rejects_missing_section_field(self, doc):
+        broken = self._doc_with_section(doc)
+        del broken["vm_cores"]["cpu_count"]
+        with pytest.raises(ValueError, match="vm_cores: missing field"):
+            perf.validate_document(broken)
+
+    def test_rejects_wrong_section_field_type(self, doc):
+        broken = self._doc_with_section(doc, cpu_count="four")
+        with pytest.raises(ValueError,
+                           match="vm_cores: field 'cpu_count'"):
+            perf.validate_document(broken)
+
+    def test_rejects_missing_benchmark_field(self, doc):
+        broken = self._doc_with_section(doc)
+        del broken["vm_cores"]["benchmarks"]["pmd_capture_on"]["speedup"]
+        with pytest.raises(ValueError,
+                           match="vm_cores benchmark 'pmd_capture_on'"):
+            perf.validate_document(broken)
+
+    def test_rejects_non_object_benchmark(self, doc):
+        broken = self._doc_with_section(doc)
+        broken["vm_cores"]["benchmarks"]["pmd_capture_on"] = 7
+        with pytest.raises(ValueError, match="is not *an object"):
+            perf.validate_document(broken)
+
+    def test_rejects_invalid_repeat_walls(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"][0]["repeat_walls"] = [-0.1]
+        with pytest.raises(ValueError, match="repeat_walls"):
+            perf.validate_document(broken)
+
+    def test_rejects_non_list_repeat_walls(self, doc):
+        broken = copy.deepcopy(doc)
+        broken["benchmarks"][0]["repeat_walls"] = 0.5
+        with pytest.raises(ValueError, match="repeat_walls"):
+            perf.validate_document(broken)
+
+    def test_pre_v4_record_without_repeat_walls_stays_valid(self, doc):
+        older = copy.deepcopy(doc)
+        for record in older["benchmarks"]:
+            record.pop("repeat_walls", None)
+        older["schema_version"] = 3
+        older.pop("vm_cores", None)
+        perf.validate_document(older)
 
 
 class TestValidateDocument:

@@ -32,6 +32,10 @@ class TestValidation:
         with pytest.raises(ValueError):
             ToolConfig(online_decide_after=0)
 
+    def test_vm_core(self):
+        with pytest.raises(ValueError):
+            ToolConfig(vm_core="warp")
+
 
 class TestFingerprint:
     """The fingerprint is the session-cache key component: stable for
@@ -58,7 +62,7 @@ class TestFingerprint:
     # Fields that deliberately do NOT alter the fingerprint: they change
     # wall-clock behaviour only, never the simulated run, so sessions
     # cached under one value stay valid under another.
-    EXCLUDED = {"gc_core"}
+    EXCLUDED = {"gc_core", "vm_core"}
 
     def test_equal_configs_equal_fingerprints(self):
         assert ToolConfig().fingerprint() == ToolConfig().fingerprint()
@@ -91,6 +95,13 @@ class TestFingerprint:
         with pytest.raises(ValueError):
             ToolConfig(gc_core="warp")
 
+    def test_vm_core_does_not_alter_the_fingerprint(self):
+        """Both op-pipeline cores are byte-identical, so cached sessions
+        must be shared across them."""
+        base = ToolConfig().fingerprint()
+        assert ToolConfig(vm_core="reference").fingerprint() == base
+        assert ToolConfig(vm_core="fast").fingerprint() == base
+
 
 class TestPlumbing:
     def test_config_reaches_the_vm(self):
@@ -106,6 +117,14 @@ class TestPlumbing:
         assert vm.costs.hash_compute == 99
         assert vm.gc_threshold_bytes == 1234
         assert vm.contexts.depth == 3
+
+    def test_vm_core_reaches_the_vm(self, monkeypatch):
+        from repro.core.chameleon import Chameleon
+
+        vm = Chameleon(ToolConfig(vm_core="reference")).make_vm()
+        assert vm.vm_core == "reference"
+        monkeypatch.setenv("REPRO_VM_CORE", "reference")
+        assert Chameleon(ToolConfig()).make_vm().vm_core == "reference"
 
     def test_constants_reach_the_engine(self):
         from repro.core.chameleon import Chameleon
