@@ -6,6 +6,9 @@ and the simulated heap plus its semantic-map accounting stays sound under
 GC.  See DESIGN.md ("Verification subsystem") for the architecture.
 """
 
+from repro.verify.compile import (CompiledProgram, TraceInstance,
+                                  compile_trace, load_trace_file,
+                                  perturb_ops)
 from repro.verify.fuzz import (FuzzFailure, FuzzResult, record_workload,
                                run_fuzz)
 from repro.verify.generate import ADT_KINDS, SWAP_TARGETS, generate_trace
@@ -19,10 +22,12 @@ from repro.verify.trace import (BASELINE_IMPLS, DiffReport, Divergence,
 
 __all__ = [
     "ADT_KINDS", "BASELINE_IMPLS", "SWAP_TARGETS",
-    "DiffReport", "Divergence", "FuzzFailure", "FuzzResult",
-    "HeapSanitizer", "ReplayResult", "Trace", "TraceRecorder", "Violation",
-    "decode_value", "diff_trace", "eligible_impls", "encode_value",
-    "generate_trace", "make_failure_checker", "record_workload",
+    "CompiledProgram", "DiffReport", "Divergence", "FuzzFailure",
+    "FuzzResult", "HeapSanitizer", "ReplayResult", "Trace",
+    "TraceInstance", "TraceRecorder", "Violation",
+    "compile_trace", "decode_value", "diff_trace", "eligible_impls",
+    "encode_value", "generate_trace", "load_trace_file",
+    "make_failure_checker", "perturb_ops", "record_workload",
     "replay_trace", "run_fuzz", "sanitized_vms", "shrink_trace",
     "write_repro_script",
 ]

@@ -2,6 +2,11 @@
 
 from repro.workloads.base import Workload, WorkloadRegistry
 from repro.workloads.bloat import BloatWorkload
+from repro.workloads.compiled import (CompiledTraceWorkload,
+                                      HeavyTailWorkload,
+                                      MultiTenantWorkload,
+                                      PhaseShiftWorkload, register_scenarios,
+                                      scenario_names)
 from repro.workloads.dacapo import (DacapoCompressWorkload,
                                     DacapoCryptoWorkload,
                                     DacapoHsqldbWorkload)
@@ -17,7 +22,9 @@ __all__ = [
     "DacapoCompressWorkload", "DacapoCryptoWorkload",
     "DacapoHsqldbWorkload", "FindbugsWorkload", "FopWorkload",
     "PmdWorkload", "SootWorkload", "TvlaWorkload", "ContextSpec",
-    "SyntheticWorkload",
+    "SyntheticWorkload", "CompiledTraceWorkload", "HeavyTailWorkload",
+    "PhaseShiftWorkload", "MultiTenantWorkload", "register_scenarios",
+    "scenario_names",
 ]
 
 BENCHMARKS = (TvlaWorkload, SootWorkload, FindbugsWorkload, BloatWorkload,
@@ -30,8 +37,9 @@ CONTROLS = (DacapoCompressWorkload, DacapoCryptoWorkload,
 
 
 def default_workload_registry() -> WorkloadRegistry:
-    """A registry with every bundled workload."""
+    """A registry with every bundled workload and library scenario."""
     registry = WorkloadRegistry()
     for workload_class in BENCHMARKS + CONTROLS:
         registry.register(workload_class.name, workload_class)
+    register_scenarios(registry)
     return registry

@@ -193,3 +193,59 @@ class TestUniformSemanticsAcrossImpls:
         got.extend(iterator)
         assert sorted(got) == [(1, 10), (2, 20), (3, 30)]
         assert mapping.size() == 0
+
+
+def _compiled_matrix_cases():
+    """(workload, impl) pairs: the per-impl matrix over the source
+    traces of two library scenarios instead of hand-written fills."""
+    from repro.verify.trace import eligible_impls
+    from repro.workloads.compiled import make_scenario
+
+    cases = []
+    for name in ("compiled-tvla-map", "compiled-pmd-set"):
+        trace = make_scenario(name).source_traces()[0]
+        for impl in eligible_impls(trace):
+            cases.append(pytest.param(name, impl, id=f"{name}-{impl}"))
+    return cases
+
+
+class TestUniformSemanticsViaCompiledWorkloads:
+    """The same uniform-contract matrix, driven by compiled workloads.
+
+    Hand-written fills above choose their own values; here the op mix
+    comes from recorded benchmark traces (including live iterators racing
+    mutations), executed through the compiled path against every
+    eligible implementation.  Outcome- and drop-out-parity with
+    ``replay_trace`` per implementation is exactly the interchangeability
+    contract, proven beyond the baseline implementation and beyond
+    hand-picked operations.
+    """
+
+    @pytest.mark.parametrize("workload,impl", _compiled_matrix_cases())
+    def test_compiled_matches_replay_per_impl(self, workload, impl):
+        from repro.runtime.vm import RuntimeEnvironment
+        from repro.verify.compile import TraceInstance, compile_trace
+        from repro.verify.trace import replay_trace
+        from repro.workloads.compiled import make_scenario
+
+        trace = make_scenario(workload).source_traces()[0]
+        reference = replay_trace(trace, impl, sanitize=True)
+        assert reference.violations == []
+        vm = RuntimeEnvironment(gc_threshold_bytes=None)
+        instance = TraceInstance(vm, compile_trace(trace), impl=impl,
+                                 collect_outcomes=True)
+        instance.run()
+        vm.collect()
+        assert instance.outcomes == reference.outcomes
+        assert instance.dropped_at == reference.dropped_at
+        assert vm.now == reference.ticks
+
+    @pytest.mark.parametrize("workload", ["compiled-tvla-map",
+                                          "compiled-pmd-set"])
+    def test_source_trace_diffs_clean_across_registry(self, workload):
+        from repro.verify.trace import diff_trace
+        from repro.workloads.compiled import make_scenario
+
+        trace = make_scenario(workload).source_traces()[0]
+        report = diff_trace(trace, sanitize=True)
+        assert report.ok, report.summary()

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -37,6 +39,15 @@ class TestCommands:
         assert code == 0
         for name in ("tvla", "soot", "pmd", "dacapo-compress"):
             assert name in out
+
+    def test_list_includes_scenario_library(self, capsys):
+        from repro.workloads.compiled import SCENARIOS
+
+        _, out = run_cli(capsys, "list")
+        assert "scenario library" in out
+        for name in SCENARIOS:
+            assert name in out
+        assert "[heavy-tail]" in out and "[multi-tenant]" in out
 
     def test_profile(self, capsys):
         code, out = run_cli(capsys, "profile", "tvla",
@@ -106,6 +117,32 @@ class TestCommands:
         assert second == first
         assert experiments.get_session_cache().hits > 0
         experiments.reset_session_cache()
+
+    def test_compile_trace_runs_and_checks(self, capsys):
+        corpus = pathlib.Path(__file__).parents[1] / "verify" / "corpus"
+        code, out = run_cli(capsys, "compile-trace",
+                            str(corpus / "tvla-map-000.json"),
+                            str(corpus / "bloat-list-000.json"),
+                            "--rounds", "2", "--check", "--sanitize")
+        assert code == 0
+        assert out.count("sanitizer=clean") == 2
+        assert out.count("replay-anchor ok") == 2
+
+    def test_compile_trace_multi_tenant(self, capsys):
+        corpus = pathlib.Path(__file__).parents[1] / "verify" / "corpus"
+        code, out = run_cli(capsys, "compile-trace",
+                            str(corpus / "tvla-map-000.json"),
+                            str(corpus / "pmd-set-000.json"),
+                            "--multi-tenant")
+        assert code == 0
+        assert "multi-tenant(" in out
+        assert out.count("ticks=") == 1  # one woven run, not two
+
+    def test_compile_trace_rejects_garbage_input(self, tmp_path):
+        bogus = tmp_path / "not-a-trace.json"
+        bogus.write_text("{\"format\": 1}", encoding="utf-8")
+        with pytest.raises(SystemExit, match="not a readable trace"):
+            main(["compile-trace", str(bogus)])
 
     def test_experiment_session_store_roundtrip(self, capsys, tmp_path):
         """A directory --session-cache spills one content-addressed

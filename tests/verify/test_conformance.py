@@ -1,0 +1,106 @@
+"""Cross-core conformance harness for the compiled scenario library.
+
+Every scenario in :mod:`repro.workloads.compiled` must uphold the
+guarantees the verification subsystem established for hand-written
+replays before it may claim to be a workload:
+
+(a) **replay anchor** -- executing a scenario's source trace through the
+    compiled path in the pure-replay posture is tick- and
+    outcome-identical to :func:`repro.verify.trace.replay_trace`;
+(b) **core-grid identity** -- a full scenario run produces a
+    byte-identical tick count and GC-cycle record on every
+    ``gc_core`` x ``vm_core`` combination;
+(c) **sanitizer-clean** -- a full scenario run under a tight GC
+    threshold triggers real collections and zero heap-soundness
+    violations.
+
+New scenarios added to ``SCENARIOS`` are picked up automatically; there
+is no way to register a scenario that dodges this suite.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime.vm import RuntimeEnvironment
+from repro.verify.compile import TraceInstance, compile_trace
+from repro.verify.sanitizer import HeapSanitizer
+from repro.verify.trace import replay_trace
+from repro.workloads.compiled import SCENARIOS, make_scenario
+
+SCENARIO_NAMES = sorted(SCENARIOS)
+
+GC_CORES = ("reference", "fast", "vector")
+VM_CORES = ("reference", "fast")
+
+
+def _scenario_observables(name, gc_core, vm_core):
+    """One full scenario run's simulated observables under real GC."""
+    vm = RuntimeEnvironment(gc_threshold_bytes=64 * 1024, gc_core=gc_core,
+                            vm_core=vm_core)
+    make_scenario(name).run(vm)
+    vm.finish()
+    return {
+        "ticks": vm.now,
+        "cycles": [dataclasses.asdict(cycle)
+                   for cycle in vm.timeline.cycles],
+    }
+
+
+class TestScenarioLibraryShape:
+    def test_at_least_eight_scenarios(self):
+        assert len(SCENARIOS) >= 8
+
+    def test_all_three_families_represented(self):
+        families = {spec.family for spec in SCENARIOS.values()}
+        assert {"heavy-tail", "phase-shift", "multi-tenant"} <= families
+
+    def test_registered_name_matches_key(self):
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+            assert make_scenario(name).name == name
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+class TestConformance:
+    def test_replay_anchor(self, name):
+        """(a): compiled execution == replay_trace, per source trace."""
+        workload = make_scenario(name)
+        for trace in workload.source_traces():
+            reference = replay_trace(trace, trace.baseline_impl)
+            vm = RuntimeEnvironment(gc_threshold_bytes=None)
+            instance = TraceInstance(vm, compile_trace(trace),
+                                     impl=trace.baseline_impl,
+                                     collect_outcomes=True)
+            instance.run()
+            vm.collect()
+            assert vm.now == reference.ticks
+            assert instance.outcomes == reference.outcomes
+            assert instance.dropped_at == reference.dropped_at
+
+    def test_core_grid_byte_identical(self, name):
+        """(b): ticks and GC record equal on every core combination."""
+        reference = _scenario_observables(name, "reference", "reference")
+        assert reference["cycles"], "scenario must trigger real GC"
+        for gc_core in GC_CORES:
+            for vm_core in VM_CORES:
+                if (gc_core, vm_core) == ("reference", "reference"):
+                    continue
+                leg = _scenario_observables(name, gc_core, vm_core)
+                assert leg == reference, (gc_core, vm_core)
+
+    def test_sanitizer_clean(self, name):
+        """(c): a tight-threshold run collects repeatedly, soundly."""
+        vm = RuntimeEnvironment(gc_threshold_bytes=32 * 1024)
+        sanitizer = HeapSanitizer()
+        sanitizer.attach(vm)
+        make_scenario(name).run(vm)
+        vm.finish()
+        assert len(vm.timeline.cycles) >= 2
+        assert sanitizer.violations == []
+
+    def test_deterministic_across_runs(self, name):
+        """Same seed, same scale -> byte-identical repeat runs."""
+        first = _scenario_observables(name, "fast", "fast")
+        second = _scenario_observables(name, "fast", "fast")
+        assert first == second

@@ -12,10 +12,31 @@ import pathlib
 
 import pytest
 
-from repro.verify.trace import TRACE_FORMAT_VERSION, Trace, diff_trace
+import repro.workloads.compiled as compiled_mod
+from repro.verify.trace import (TRACE_FORMAT_VERSION, Trace, diff_trace,
+                                ops_for_kind)
 
 CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
 CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+# The scenario library's bundled source traces are corpus too: same
+# format, same codec, same schema obligations.
+SCENARIO_DIR = pathlib.Path(compiled_mod.__file__).parent / "scenarios"
+ALL_TRACES = CORPUS + sorted(SCENARIO_DIR.glob("*.json"))
+
+#: The codec's complete tag vocabulary (encode_value's output surface).
+VALUE_TAGS = {"n", "b", "i", "f", "s", "o", "p", "l", "x"}
+
+#: Ops that are structural rather than part of the ADT surface.
+STRUCTURAL_OPS = {"init", "gc", "swap", "iter_new", "iter_next"}
+
+
+def _collect_tags(node, tags):
+    if isinstance(node, list):
+        if node and isinstance(node[0], str) and node[0] in VALUE_TAGS:
+            tags.add(node[0])
+        for item in node:
+            _collect_tags(item, tags)
 
 
 def test_corpus_is_present():
@@ -42,3 +63,28 @@ def test_corpus_trace_diffs_clean(path):
     assert report.ok, report.summary()
     for result in report.results.values():
         assert not result.violations
+
+
+@pytest.mark.parametrize("path", ALL_TRACES, ids=lambda p: p.name)
+def test_codec_round_trip_is_byte_exact(path):
+    """decode -> encode reproduces the committed bytes exactly, so a
+    codec or schema change can never silently orphan the corpus."""
+    text = path.read_text(encoding="utf-8")
+    trace = Trace.from_json(text)
+    assert trace.to_json(indent=2) == text
+
+
+@pytest.mark.parametrize("path", ALL_TRACES, ids=lambda p: p.name)
+def test_tag_and_op_vocabulary(path):
+    """Every committed trace speaks the documented schema: value tags
+    from the codec's vocabulary, op names from the recorded surface."""
+    trace = Trace.from_json(path.read_text(encoding="utf-8"))
+    known_ops = set(ops_for_kind(trace.kind)) | STRUCTURAL_OPS
+    tags = set()
+    for op in trace.ops:
+        assert op[0] in known_ops, op
+        _collect_tags(op[1:], tags)
+    for result in trace.results:
+        _collect_tags(result, tags)
+    assert tags <= VALUE_TAGS
+    assert tags, "a committed trace should carry at least one value"

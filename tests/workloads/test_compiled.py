@@ -1,0 +1,143 @@
+"""The compiled scenario library as workloads, and registry hygiene."""
+
+import pytest
+
+from repro.runtime.vm import RuntimeEnvironment
+from repro.workloads import WorkloadRegistry, default_workload_registry
+from repro.workloads.compiled import (SCENARIOS, CompiledTraceWorkload,
+                                      HeavyTailWorkload,
+                                      MultiTenantWorkload,
+                                      PhaseShiftWorkload,
+                                      bundled_trace_stems, get_scenario,
+                                      load_bundled_program,
+                                      load_bundled_trace, make_scenario,
+                                      scenario_names)
+
+
+class TestRegistryDuplicateRejection:
+    def test_duplicate_name_is_loud(self):
+        registry = WorkloadRegistry()
+        registry.register("w", object)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("w", object)
+
+    def test_explicit_overwrite_is_allowed(self):
+        registry = WorkloadRegistry()
+        registry.register("w", dict)
+        registry.register("w", list, overwrite=True)
+        assert registry.create("w") == []
+
+    def test_default_registry_has_no_silent_collisions(self):
+        # Building it registers benchmarks, controls and every scenario;
+        # a collision anywhere would now raise.
+        registry = default_workload_registry()
+        assert set(scenario_names()) <= set(registry.names())
+        assert "tvla" in registry.names()
+
+
+class TestBundledTraces:
+    def test_every_scenario_source_is_bundled(self):
+        stems = set(bundled_trace_stems())
+        for spec in SCENARIOS.values():
+            assert set(spec.sources) <= stems
+
+    def test_bundled_traces_carry_provenance(self):
+        for stem in bundled_trace_stems():
+            meta = load_bundled_trace(stem).meta
+            assert meta["scenario_source"]["seed"] == 2009
+            assert meta["scenario_source"]["benchmark"]
+
+    def test_programs_are_cached(self):
+        stem = bundled_trace_stems()[0]
+        assert load_bundled_program(stem) is load_bundled_program(stem)
+
+
+class TestScenarioWorkloads:
+    def test_unknown_scenario_is_a_key_error(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_fresh_reconstructs_the_same_run(self, name):
+        workload = make_scenario(name, seed=7, scale=0.5)
+        clone = workload.fresh()
+        assert type(clone) is type(workload)
+        assert (clone.name, clone.seed, clone.scale) == (name, 7, 0.5)
+
+        def ticks(wl):
+            vm = RuntimeEnvironment(gc_threshold_bytes=None)
+            wl.run(vm)
+            return vm.now
+
+        assert ticks(workload) == ticks(clone)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_describe_names_the_scenario(self, name):
+        description = make_scenario(name).describe()
+        assert name in description
+        assert "compiled" in description
+
+    def test_registry_create_passes_harness_kwargs(self):
+        registry = default_workload_registry()
+        workload = registry.create("heavy-tail-pmd-set", seed=5, scale=0.4)
+        assert isinstance(workload, HeavyTailWorkload)
+        assert (workload.seed, workload.scale) == (5, 0.4)
+
+    def test_scale_changes_the_amount_of_work(self):
+        def ticks(scale):
+            vm = RuntimeEnvironment(gc_threshold_bytes=None)
+            make_scenario("compiled-findbugs-map", scale=scale).run(vm)
+            return vm.now
+
+        assert ticks(2.0) > ticks(1.0) > ticks(0.25)
+
+    def test_perturbed_rounds_differ_from_verbatim(self):
+        # With perturbation active, round 1 executes a sibling program,
+        # not the recorded one -- the family is real, not n copies.
+        # (pmd-set carries string values; all-handle traces like
+        # tvla-map are identity-bearing and legitimately unperturbable.)
+        program = load_bundled_program("pmd-set")
+        workload = CompiledTraceWorkload(program, "t", rounds=2,
+                                         perturb=0.5)
+        perturbed = program.perturbed(workload.round_rng(1), 0.5)
+        assert perturbed.trace.ops != program.trace.ops
+
+    def test_heavy_tail_lengths_are_heavy_tailed(self):
+        workload = make_scenario("heavy-tail-pmd-set")
+        program = workload.programs[0]
+        lengths = [max(2, int(len(program) * rank ** -workload.alpha))
+                   for rank in range(1, workload.instances + 1)]
+        assert lengths[0] == len(program)
+        assert lengths[-1] <= len(program) // workload.instances * 2
+        assert sorted(lengths, reverse=True) == lengths
+
+    def test_phase_shift_spike_raises_peak_footprint(self):
+        # Sample held bytes right before each collection: the wave of
+        # simultaneously-live instances must dominate the footprint.
+        def peak_held(spike):
+            vm = RuntimeEnvironment(gc_threshold_bytes=None)
+            held = []
+            original = vm.collect
+
+            def sampling_collect():
+                held.append(vm.heap.total_allocated_bytes
+                            - vm.heap.total_freed_bytes)
+                original()
+
+            vm.collect = sampling_collect
+            PhaseShiftWorkload(load_bundled_program("bloat-list"), "t",
+                               quiet_rounds=2, spike=spike,
+                               perturb=0.0).run(vm)
+            return max(held)
+
+        assert peak_held(12) > 2 * peak_held(1)
+
+    def test_multi_tenant_interleaves_all_programs(self):
+        workload = make_scenario("multi-tenant-trio")
+        assert isinstance(workload, MultiTenantWorkload)
+        assert len(workload.programs) == 3
+        kinds = {program.kind for program in workload.programs}
+        assert len(kinds) == 3  # list, set and map woven together
+        vm = RuntimeEnvironment(gc_threshold_bytes=None)
+        workload.run(vm)
+        assert vm.now > sum(len(p) for p in workload.programs)
