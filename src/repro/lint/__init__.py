@@ -10,30 +10,45 @@ package is the static pass that keeps the dynamic machinery honest:
 * **Layer 2** (:mod:`repro.lint.usage`) walks Python workload/client
   sources with :mod:`ast`, finds wrapper allocation sites, derives
   static op-mix facts, and predicts which Table 2 rules should fire.
+* **Layer 2.5** (:mod:`repro.lint.interproc`) is the interprocedural
+  interval analysis: per-site op-frequency and size *intervals* flow
+  through call summaries and loops, are evaluated three-valuedly by the
+  real rule engine, and yield provable per-rule verdicts, a static
+  replacement proposal and exportable op-mix signatures.
 * The **drift report** (:mod:`repro.lint.drift`) diffs the static
   predictions against a dynamic profiling session per allocation
-  context: agreements, static-only and dynamic-only findings.
+  context: agreements, static-only and dynamic-only findings -- and,
+  with interval verdicts, refines into a three-way report separating
+  coverage gaps from gated and refuted predictions.
 
 Findings share one model (:mod:`repro.lint.findings`) with text, JSON
 and SARIF 2.1.0 emitters (:mod:`repro.lint.sarif`), surfaced by the
 ``chameleon-repro lint`` CLI subcommand.
 """
 
-from repro.lint.drift import DriftEntry, drift_report
-from repro.lint.findings import (Finding, RuleValidationError, Severity,
-                                 Span, emit_json, emit_text, worst_severity)
+from repro.lint.drift import (DriftEntry, ThreeWayEntry, drift_report,
+                              three_way_report)
+from repro.lint.findings import (Finding, Related, RuleValidationError,
+                                 Severity, Span, emit_json, emit_text,
+                                 worst_severity)
+from repro.lint.interproc import (InterprocReport, SiteReport,
+                                  analyze_paths, analyze_source,
+                                  export_signatures)
 from repro.lint.intervals import Interval, Tri, analyze_condition
 from repro.lint.rule_checker import (check_rules, load_rules_file,
                                      overlap_report, validate_rules)
 from repro.lint.sarif import emit_sarif, validate_sarif
-from repro.lint.usage import StaticPrediction, lint_paths
+from repro.lint.usage import (StaticPrediction, lint_paths,
+                              lint_paths_detailed)
 
 __all__ = [
-    "DriftEntry", "drift_report",
-    "Finding", "RuleValidationError", "Severity", "Span",
+    "DriftEntry", "ThreeWayEntry", "drift_report", "three_way_report",
+    "Finding", "Related", "RuleValidationError", "Severity", "Span",
     "emit_json", "emit_text", "worst_severity",
+    "InterprocReport", "SiteReport", "analyze_paths", "analyze_source",
+    "export_signatures",
     "Interval", "Tri", "analyze_condition",
     "check_rules", "load_rules_file", "overlap_report", "validate_rules",
     "emit_sarif", "validate_sarif",
-    "StaticPrediction", "lint_paths",
+    "StaticPrediction", "lint_paths", "lint_paths_detailed",
 ]

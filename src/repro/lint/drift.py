@@ -34,7 +34,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.lint.findings import Finding, Severity, Span
 from repro.lint.usage import StaticPrediction
 
-__all__ = ["DriftEntry", "drift_report", "load_sessions", "LINE_TOLERANCE"]
+__all__ = ["DriftEntry", "ThreeWayEntry", "drift_report",
+           "three_way_report", "load_sessions", "LINE_TOLERANCE"]
 
 LINE_TOLERANCE = 4
 """Maximum static/dynamic line skew for two records to name one site."""
@@ -201,3 +202,188 @@ def load_sessions(path: str) -> List:
     if isinstance(entries, dict):
         return list(entries.values())
     return list(entries)
+
+
+# ----------------------------------------------------------------------
+# Three-way report (interval-static vs coarse-static vs dynamic)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ThreeWayEntry:
+    """One context/rule row of the three-way drift diff."""
+
+    status: str
+    """``agreement`` | ``coverage-gap`` | ``static-only-gated`` |
+    ``unsubstantiated`` | ``refuted`` | ``dynamic-only`` |
+    ``proposal-confirmed`` | ``proposal-conflict`` | ``proposal-new``."""
+    location: str
+    src_type: str
+    rule: str
+    static_line: Optional[int] = None
+    dynamic_context: Optional[str] = None
+    verdict: Optional[str] = None
+    """Interval-side verdict (``must``/``may``/``refuted``) where the
+    interprocedural analysis had an opinion."""
+
+
+_VERDICT_NAMES = {"TRUE": "must", "UNKNOWN": "may", "FALSE": "refuted"}
+
+
+def three_way_report(predictions: Sequence[StaticPrediction],
+                     sessions: Sequence,
+                     classify,
+                     proposals: Sequence[Tuple[str, int, str, str, str]] = (),
+                     ) -> Tuple[List[Finding], List[ThreeWayEntry]]:
+    """Diff coarse predictions, interval verdicts and dynamic sessions.
+
+    ``classify`` is a callable mapping a :class:`StaticPrediction` to a
+    :class:`repro.lint.intervals.Tri` (dependency-injected so this
+    module needs no import of the interprocedural engine;
+    :meth:`repro.lint.interproc.InterprocReport.classify` fits).
+    ``proposals`` are ``(location, line, src_type, rule, detail)`` rows
+    of the static :class:`ReplacementMap` proposal (see
+    :meth:`repro.lint.interproc.InterprocReport.proposal_rows`).
+
+    The coarse two-way statuses refine as follows:
+
+    * ``agreement`` stays an agreement (the interval verdict rides
+      along: a ``refuted`` agreement would expose an unsound transfer
+      function, so the verdict is always worth printing);
+    * ``static-only`` splits by interval verdict -- ``must`` at an
+      unprofiled context is a real **coverage gap** (warning), ``must``
+      at a profiled context means a dynamic **gate** (potential or
+      stability) blocked the rule (note), ``may`` is
+      **unsubstantiated** (note: the coarse fact never cleared the
+      quantitative threshold statically), and ``refuted`` is a coarse
+      **false positive** the intervals disprove (note);
+    * dynamic-only rows are unchanged;
+    * every proposal row is checked against the dynamic decisions --
+      ``proposal-conflict`` (warning) flags a static *must* decision
+      the dynamic engine contradicts.
+    """
+    from repro.lint.intervals import Tri
+
+    dynamic = _dynamic_index(sessions)
+    findings: List[Finding] = []
+    entries: List[ThreeWayEntry] = []
+
+    for prediction in predictions:
+        verdict_tri = classify(prediction)
+        verdict = _VERDICT_NAMES.get(verdict_tri.name, "may")
+        agreed: Optional[Tuple[str, _DynSite]] = None
+        profiled: Optional[Tuple[str, _DynSite]] = None
+        for src_type in sorted(prediction.src_types):
+            for site in dynamic.get((prediction.location, src_type), []):
+                if not _lines_compatible(prediction.line, site.line):
+                    continue
+                if prediction.predicted_rule in site.fired:
+                    agreed = (src_type, site)
+                    break
+                if profiled is None:
+                    profiled = (src_type, site)
+            if agreed is not None:
+                break
+        if agreed is not None:
+            src_type, site = agreed
+            site.covered.add(prediction.predicted_rule)
+            entries.append(ThreeWayEntry(
+                "agreement", prediction.location, src_type,
+                prediction.predicted_rule, static_line=prediction.line,
+                dynamic_context=site.context, verdict=verdict))
+            findings.append(Finding(
+                id="L3-drift-agreement", severity=Severity.NOTE,
+                message=f"static prediction confirmed "
+                        f"(interval verdict: {verdict}): "
+                        f"{prediction.predicted_rule!r} fired at "
+                        f"{src_type}:{prediction.location}",
+                span=Span(file=prediction.file, line=prediction.line),
+                context=site.context,
+                predicted_rule=prediction.predicted_rule))
+            continue
+        src_type = "/".join(sorted(prediction.src_types))
+        context = profiled[1].context if profiled is not None else None
+        if verdict_tri is Tri.FALSE:
+            status, finding_id, severity = \
+                "refuted", "L3-refuted", Severity.NOTE
+            reason = ("the inferred intervals disprove the rule's "
+                      "condition: the coarse prediction is a static "
+                      "false positive")
+        elif verdict_tri is Tri.TRUE and profiled is None:
+            status, finding_id, severity = \
+                "coverage-gap", "L3-coverage-gap", Severity.WARNING
+            reason = ("the intervals prove the rule fires, but the "
+                      "context never appeared in the profile: the "
+                      "dynamic run does not cover this code path")
+        elif verdict_tri is Tri.TRUE:
+            status, finding_id, severity = \
+                "static-only-gated", "L3-static-gated", Severity.NOTE
+            reason = ("the intervals prove the rule's condition, so a "
+                      "dynamic gate (saving potential or stability) "
+                      "must have blocked it")
+        else:
+            status, finding_id, severity = \
+                "unsubstantiated", "L3-unsubstantiated", Severity.NOTE
+            reason = ("the inferred intervals straddle the rule's "
+                      "thresholds: the coarse fact was never "
+                      "quantitatively substantiated")
+        entries.append(ThreeWayEntry(
+            status, prediction.location, src_type,
+            prediction.predicted_rule, static_line=prediction.line,
+            dynamic_context=context, verdict=verdict))
+        findings.append(Finding(
+            id=finding_id, severity=severity,
+            message=f"{status}: {prediction.predicted_rule!r} at "
+                    f"{src_type}:{prediction.location} -- {reason}",
+            span=Span(file=prediction.file, line=prediction.line),
+            context=context, predicted_rule=prediction.predicted_rule))
+
+    for (location, src_type), sites in sorted(dynamic.items()):
+        for site in sites:
+            for rule in sorted(site.fired - site.covered):
+                entries.append(ThreeWayEntry(
+                    "dynamic-only", location, src_type, rule,
+                    dynamic_context=site.context))
+                findings.append(Finding(
+                    id="L3-dynamic-only", severity=Severity.NOTE,
+                    message=f"dynamic-only: {rule!r} fired at "
+                            f"{src_type}:{location} with no static "
+                            f"prediction",
+                    span=Span(file="<session>", line=0),
+                    context=site.context, predicted_rule=rule))
+
+    for location, line, src_type, rule, detail in proposals:
+        match: Optional[_DynSite] = None
+        for site in dynamic.get((location, src_type), []):
+            if _lines_compatible(line, site.line):
+                match = site
+                break
+        if match is None:
+            status, finding_id, severity = \
+                "proposal-new", "L3-proposal-new", Severity.NOTE
+            message = (f"static proposal (no dynamic decision to "
+                       f"compare): {rule!r} -> {detail} at "
+                       f"{src_type}:{location}:{line}")
+        elif rule in match.fired:
+            status, finding_id, severity = \
+                "proposal-confirmed", "L3-proposal-confirmed", \
+                Severity.NOTE
+            message = (f"static proposal confirmed by the dynamic "
+                       f"engine: {rule!r} -> {detail} at "
+                       f"{src_type}:{location}:{line}")
+        else:
+            status, finding_id, severity = \
+                "proposal-conflict", "L3-proposal-conflict", \
+                Severity.WARNING
+            message = (f"static proposal conflicts with the dynamic "
+                       f"decision at {src_type}:{location}:{line}: "
+                       f"proposed {rule!r} -> {detail}, dynamic fired "
+                       f"{sorted(match.fired)}")
+        entries.append(ThreeWayEntry(
+            status, location, src_type, rule, static_line=line,
+            dynamic_context=match.context if match else None,
+            verdict="must"))
+        findings.append(Finding(
+            id=finding_id, severity=severity, message=message,
+            span=Span(file="<proposal>", line=line),
+            context=match.context if match else None,
+            predicted_rule=rule))
+    return findings, entries

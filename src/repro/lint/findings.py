@@ -12,9 +12,9 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Severity", "Span", "Finding", "RuleValidationError",
+__all__ = ["Severity", "Span", "Finding", "Related", "RuleValidationError",
            "emit_text", "emit_json", "worst_severity", "count_by_severity"]
 
 
@@ -60,6 +60,20 @@ class Span:
 
 
 @dataclass(frozen=True)
+class Related:
+    """A related source location (one call-chain step of an
+    interprocedural finding): where a value the finding depends on was
+    produced, e.g. the factory allocation behind a call-site report."""
+
+    file: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.message}"
+
+
+@dataclass(frozen=True)
 class Finding:
     """One diagnostic produced by any lint layer."""
 
@@ -75,6 +89,9 @@ class Finding:
     (``srcType:module.func:line``) for Layer 2 / drift findings."""
     predicted_rule: Optional[str] = None
     """Builtin-rule name a Layer 2 fact statically predicts."""
+    related: Tuple[Related, ...] = ()
+    """Call-chain steps behind an interprocedural finding, innermost
+    first (SARIF ``relatedLocations``)."""
 
     def render(self) -> str:
         head = f"{self.span.render()}: {self.severity.value}: " \
@@ -86,6 +103,8 @@ class Finding:
             tail.append(f"    predicts: {self.predicted_rule}")
         if self.fix_hint:
             tail.append(f"    hint: {self.fix_hint}")
+        for step in self.related:
+            tail.append(f"    via: {step.render()}")
         return "\n".join([head] + tail)
 
     def to_dict(self) -> dict:
@@ -106,6 +125,10 @@ class Finding:
                            ("predictedRule", self.predicted_rule)):
             if value is not None:
                 data[key] = value
+        if self.related:
+            data["related"] = [{"file": step.file, "line": step.line,
+                                "message": step.message}
+                               for step in self.related]
         return data
 
 
@@ -143,9 +166,28 @@ def worst_severity(findings: Sequence[Finding]) -> Optional[Severity]:
     return worst
 
 
-def emit_text(findings: Sequence[Finding]) -> str:
-    """Human-readable report, most severe findings first."""
+def _waived_total(waived: Optional[Mapping[str, int]]) -> int:
+    return sum(waived.values()) if waived else 0
+
+
+def emit_text(findings: Sequence[Finding],
+              waived: Optional[Mapping[str, int]] = None,
+              show_waived: bool = False) -> str:
+    """Human-readable report, most severe findings first.
+
+    ``waived`` maps finding ids to the number of occurrences silenced by
+    ``# lint: ignore[...]`` comments; the total always shows in the
+    summary line, the per-id breakdown only under ``show_waived``.
+    """
+    total_waived = _waived_total(waived)
     if not findings:
+        if total_waived:
+            lines = []
+            if show_waived:
+                lines += [f"waived: {count} x [{finding_id}]"
+                          for finding_id, count in sorted(waived.items())]
+            return "\n".join(
+                lines + [f"lint: no findings ({total_waived} waived)."])
         return "lint: no findings."
     ordered = sorted(findings,
                      key=lambda f: (-f.severity.rank, f.span.file,
@@ -155,11 +197,17 @@ def emit_text(findings: Sequence[Finding]) -> str:
                         for severity in (Severity.ERROR, Severity.WARNING,
                                          Severity.NOTE)
                         if counts[severity])
-    return "\n".join([finding.render() for finding in ordered]
-                     + [f"lint: {summary}"])
+    if total_waived:
+        summary += f", {total_waived} waived"
+    lines = [finding.render() for finding in ordered]
+    if show_waived and waived:
+        lines += [f"waived: {count} x [{finding_id}]"
+                  for finding_id, count in sorted(waived.items())]
+    return "\n".join(lines + [f"lint: {summary}"])
 
 
-def emit_json(findings: Sequence[Finding]) -> str:
+def emit_json(findings: Sequence[Finding],
+              waived: Optional[Mapping[str, int]] = None) -> str:
     """Machine-readable report: a stable-keyed JSON document."""
     counts = count_by_severity(findings)
     document = {
@@ -169,4 +217,7 @@ def emit_json(findings: Sequence[Finding]) -> str:
                     for severity in Severity},
         "findings": [finding.to_dict() for finding in findings],
     }
+    document["summary"]["waived"] = _waived_total(waived)
+    if waived:
+        document["waived"] = dict(sorted(waived.items()))
     return json.dumps(document, indent=2, sort_keys=True)

@@ -34,7 +34,7 @@ from repro.rules.ast import (AndCond, BinaryOp, Comparison, Condition,
 
 __all__ = ["Tri", "Interval", "TOP", "NON_NEGATIVE", "EMPTY",
            "base_interval", "canonical_ref", "analyze_condition",
-           "ConditionAnalysis"]
+           "ConditionAnalysis", "point"]
 
 _INF = math.inf
 
@@ -92,6 +92,34 @@ class Interval:
     def intersect(self, other: "Interval") -> "Interval":
         return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
 
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (the join of the domain)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def clamp_lower(self, floor: float = 0.0) -> "Interval":
+        """Clamp both bounds to at least ``floor`` (sizes and counts
+        cannot go negative, whatever the raw arithmetic said)."""
+        if self.is_empty:
+            return self
+        return Interval(max(self.lo, floor), max(self.hi, floor))
+
+    def widen_hi(self) -> "Interval":
+        """Drop the upper bound: the widening step of the loop/escape
+        analysis.  Only ever loses precision, never soundness."""
+        if self.is_empty:
+            return self
+        return Interval(self.lo, _INF)
+
+    def contains(self, value: float, tolerance: float = 1e-9) -> bool:
+        """Whether a concrete value falls inside the interval."""
+        if self.is_empty:
+            return False
+        return self.lo - tolerance <= value <= self.hi + tolerance
+
     # -- arithmetic ----------------------------------------------------
     def __add__(self, other: "Interval") -> "Interval":
         if self.is_empty or other.is_empty:
@@ -140,6 +168,11 @@ def _safe_mul(a: float, b: float) -> float:
 TOP = Interval(-_INF, _INF)
 NON_NEGATIVE = Interval(0.0, _INF)
 EMPTY = Interval(1.0, 0.0)
+
+
+def point(value: float) -> Interval:
+    """The degenerate interval ``[value, value]``."""
+    return Interval(float(value), float(value))
 
 _ALIASES = {"avgMaxSize": "maxSize"}
 """Identifiers that denote the same statistic."""

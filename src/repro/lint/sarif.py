@@ -57,11 +57,28 @@ _RULE_DESCRIPTIONS: Dict[str, str] = {
     "L2-never-used": "Collection is allocated but never operated on.",
     "L2-temporary-iterated": "Temporary collection is returned and "
                              "immediately iterated.",
+    "L2I-interval-must": "Inferred statistic intervals prove a rule "
+                         "fires for every run reaching the site.",
+    "L2-syntax-error": "Source file could not be parsed.",
     "L3-drift-agreement": "Static prediction confirmed by the dynamic "
                           "profile.",
     "L3-static-only": "Static prediction with no dynamic confirmation.",
     "L3-dynamic-only": "Dynamic suggestion the static pass could not "
                        "predict.",
+    "L3-refuted": "Coarse static prediction the interval analysis "
+                  "disproves.",
+    "L3-coverage-gap": "Interval-proven rule at a context the dynamic "
+                       "profile never reached.",
+    "L3-static-gated": "Interval-proven rule at a profiled context that "
+                       "a dynamic gate (space or stability) blocked.",
+    "L3-unsubstantiated": "Static prediction whose inferred intervals "
+                          "straddle the rule threshold.",
+    "L3-proposal-confirmed": "Static replacement proposal matching the "
+                             "dynamic decision.",
+    "L3-proposal-conflict": "Static replacement proposal contradicting "
+                            "the dynamic decision.",
+    "L3-proposal-new": "Static replacement proposal at a context with "
+                       "no dynamic decision.",
 }
 
 
@@ -99,6 +116,14 @@ def emit_sarif(findings: Sequence[Finding],
                 },
             }],
         }
+        if finding.related:
+            result["relatedLocations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": step.file},
+                    "region": {"startLine": max(1, step.line)},
+                },
+                "message": {"text": step.message},
+            } for step in finding.related]
         properties = {}
         if finding.context:
             properties["context"] = finding.context
@@ -191,12 +216,10 @@ def validate_sarif(document) -> List[str]:
             if level is not None and level not in (
                     "none", "note", "warning", "error"):
                 problems.append(f"{rwhere}.level: invalid level {level!r}")
-            for loc_index, location in enumerate(
-                    result.get("locations", [])):
-                lwhere = f"{rwhere}.locations[{loc_index}]"
+            def check_location(location, lwhere):
                 physical = location.get("physicalLocation")
                 if physical is None:
-                    continue
+                    return
                 artifact = physical.get("artifactLocation")
                 if artifact is not None:
                     require(artifact, "uri", str,
@@ -209,6 +232,24 @@ def validate_sarif(document) -> List[str]:
                         problems.append(
                             f"{lwhere}.physicalLocation.region.startLine: "
                             f"must be an integer >= 1")
+
+            for loc_index, location in enumerate(
+                    result.get("locations", [])):
+                check_location(location,
+                               f"{rwhere}.locations[{loc_index}]")
+            for loc_index, location in enumerate(
+                    result.get("relatedLocations", [])):
+                lwhere = f"{rwhere}.relatedLocations[{loc_index}]"
+                if not isinstance(location, dict):
+                    problems.append(f"{lwhere}: must be an object")
+                    continue
+                message = location.get("message")
+                if message is not None and not (
+                        isinstance(message, dict)
+                        and ("text" in message or "id" in message)):
+                    problems.append(
+                        f"{lwhere}.message: needs 'text' or 'id'")
+                check_location(location, lwhere)
     return problems
 
 
@@ -255,6 +296,18 @@ SARIF_CORE_SCHEMA: dict = {
                                                    "warning", "error"]},
                                 "message": {"type": "object"},
                                 "locations": {"type": "array"},
+                                "relatedLocations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation":
+                                                {"type": "object"},
+                                            "message":
+                                                {"type": "object"},
+                                        },
+                                    },
+                                },
                             },
                         },
                     },

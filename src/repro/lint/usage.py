@@ -37,7 +37,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.lint.findings import Finding, Severity, Span
 
 __all__ = ["StaticPrediction", "AllocationSite", "lint_source",
-           "lint_paths", "WRAPPER_KINDS"]
+           "lint_source_detailed", "lint_paths", "lint_paths_detailed",
+           "WRAPPER_KINDS"]
 
 WRAPPER_KINDS: Dict[str, Tuple[str, str]] = {
     "ChameleonList": ("list", "ArrayList"),
@@ -143,19 +144,118 @@ def _literal_src_types(node: Optional[ast.expr],
     return frozenset({default})
 
 
-def _capacity_is_set(node: Optional[ast.expr]) -> bool:
+class _ConstScope:
+    """Constant bindings visible at one point of the walk.
+
+    Tracks, in document order, the simple assignments a capacity
+    expression can reach through: module-level named constants, class
+    attribute constants (class body or ``self.X = ...`` in methods), and
+    function-local assignments plus keyword parameter defaults.  Only
+    the *value expression nodes* are stored; resolution recurses through
+    them on demand, so ``cap = SIZE if fixed else None`` chains work.
+    """
+
+    def __init__(self) -> None:
+        self.module: Dict[str, ast.expr] = {}
+        self.classes: Dict[str, Dict[str, ast.expr]] = {}
+        self._class_stack: List[str] = []
+        self._local_stack: List[Dict[str, ast.expr]] = []
+
+    # -- walk hooks ----------------------------------------------------
+    def enter_class(self, name: str) -> None:
+        self._class_stack.append(name)
+        self.classes.setdefault(name, {})
+
+    def exit_class(self) -> None:
+        self._class_stack.pop()
+
+    def enter_function(self, node: ast.FunctionDef) -> None:
+        locals_: Dict[str, ast.expr] = {}
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional)
+                                           - len(args.defaults):],
+                                args.defaults):
+            locals_[arg.arg] = default
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                locals_[arg.arg] = default
+        self._local_stack.append(locals_)
+
+    def exit_function(self) -> None:
+        self._local_stack.pop()
+
+    def record_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if isinstance(target, ast.Name):
+            if self._local_stack:
+                self._local_stack[-1][target.id] = node.value
+            elif self._class_stack:
+                self.classes[self._class_stack[-1]][target.id] = node.value
+            else:
+                self.module[target.id] = node.value
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self" and self._class_stack):
+            attrs = self.classes[self._class_stack[-1]]
+            # Two *different* assignments make the attribute
+            # non-constant; recording an identical node twice (the tree
+            # is walked once per pass) is a no-op.
+            if target.attr not in attrs:
+                attrs[target.attr] = node.value
+            else:
+                prior = attrs[target.attr]
+                if prior is not None and ast.dump(prior) != ast.dump(
+                        node.value):
+                    attrs[target.attr] = None  # type: ignore[assignment]
+
+    # -- resolution ----------------------------------------------------
+    def lookup_name(self, name: str) -> Optional[ast.expr]:
+        if self._local_stack and name in self._local_stack[-1]:
+            return self._local_stack[-1][name]
+        return self.module.get(name)
+
+    def lookup_self_attr(self, attr: str) -> Optional[ast.expr]:
+        if not self._class_stack:
+            return None
+        return self.classes[self._class_stack[-1]].get(attr)
+
+
+def _capacity_is_set(node: Optional[ast.expr],
+                     consts: Optional[_ConstScope] = None,
+                     depth: int = 0) -> bool:
     """Whether ``initial_capacity=`` reliably provides a capacity.
 
     A conditional that can evaluate to ``None`` (the manual-fix idiom
     ``cap if fixed else None``) counts as *not* set: the unfixed path is
-    the one the profiler observes.
+    the one the profiler observes.  Named constants (module/class level),
+    local assignments and keyword parameter defaults are resolved
+    through simple constant propagation; an unresolvable expression is
+    conservatively assumed to provide a capacity (the old behaviour).
     """
     if node is None:
         return False
+    if depth > 8:
+        return True
     if isinstance(node, ast.Constant):
         return node.value is not None
     if isinstance(node, ast.IfExp):
-        return _capacity_is_set(node.body) and _capacity_is_set(node.orelse)
+        return (_capacity_is_set(node.body, consts, depth + 1)
+                and _capacity_is_set(node.orelse, consts, depth + 1))
+    if consts is not None:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Name):
+            value = consts.lookup_name(node.id)
+        elif (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            value = consts.lookup_self_attr(node.attr)
+        else:
+            return True
+        if value is not None:
+            return _capacity_is_set(value, consts, depth + 1)
     return True
 
 
@@ -166,7 +266,9 @@ class _AllocSpec:
     capacity_set: bool
 
 
-def _spec_from_call(node: ast.Call) -> Optional[_AllocSpec]:
+def _spec_from_call(node: ast.Call,
+                    consts: Optional[_ConstScope] = None,
+                    ) -> Optional[_AllocSpec]:
     """The allocation spec of a direct wrapper construction, if any."""
     callee = node.func
     if not (isinstance(callee, ast.Name) and callee.id in WRAPPER_KINDS):
@@ -179,7 +281,7 @@ def _spec_from_call(node: ast.Call) -> Optional[_AllocSpec]:
         elif keyword.arg == "initial_capacity":
             capacity_node = keyword.value
     return _AllocSpec(kind, _literal_src_types(src_node, default),
-                      _capacity_is_set(capacity_node))
+                      _capacity_is_set(capacity_node, consts))
 
 
 def _unwrap_pin(node: ast.expr) -> ast.expr:
@@ -203,19 +305,31 @@ class _FactoryCollector(ast.NodeVisitor):
     def __init__(self) -> None:
         self.factories: Dict[str, _AllocSpec] = {}
         self._stack: List[str] = []
+        self.consts = _ConstScope()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.consts.enter_class(node.name)
+        self.generic_visit(node)
+        self.consts.exit_class()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._stack.append(node.name)
+        self.consts.enter_function(node)
         self.generic_visit(node)
+        self.consts.exit_function()
         self._stack.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.consts.record_assign(node)
+        self.generic_visit(node)
 
     def visit_Return(self, node: ast.Return) -> None:
         if node.value is not None and self._stack:
             value = _unwrap_pin(node.value)
             if isinstance(value, ast.Call):
-                spec = _spec_from_call(value)
+                spec = _spec_from_call(value, self.consts)
                 if spec is not None:
                     self.factories[self._stack[-1]] = spec
         self.generic_visit(node)
@@ -244,10 +358,12 @@ class _UsageWalker(ast.NodeVisitor):
     """Second pass: bind allocations, scan operations, record facts."""
 
     def __init__(self, module: str, path: str,
-                 factories: Dict[str, _AllocSpec]) -> None:
+                 factories: Dict[str, _AllocSpec],
+                 consts: Optional[_ConstScope] = None) -> None:
         self.module = module
         self.path = path
         self.factories = factories
+        self.consts = consts if consts is not None else _ConstScope()
         self.sites: List[AllocationSite] = []
         self.temporaries: List[Tuple[_AllocSpec, int]] = []
         self.scope = _Scope()
@@ -264,7 +380,7 @@ class _UsageWalker(ast.NodeVisitor):
         node = _unwrap_pin(node)
         if not isinstance(node, ast.Call):
             return None
-        spec = _spec_from_call(node)
+        spec = _spec_from_call(node, self.consts)
         if spec is not None:
             return spec
         callee = node.func
@@ -281,12 +397,19 @@ class _UsageWalker(ast.NodeVisitor):
             self.visit(node)
 
     # -- scopes --------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.consts.enter_class(node.name)
+        self.generic_visit(node)
+        self.consts.exit_class()
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self.function_stack.append(node.name)
         self.scope = _Scope(parent=self.scope)
+        self.consts.enter_function(node)
         outer_depth, self.loop_depth = self.loop_depth, 0
         self._visit_all(node.body)
         self.loop_depth = outer_depth
+        self.consts.exit_function()
         self.scope = self.scope.parent
         self.function_stack.pop()
 
@@ -294,6 +417,7 @@ class _UsageWalker(ast.NodeVisitor):
 
     # -- binding -------------------------------------------------------
     def visit_Assign(self, node: ast.Assign) -> None:
+        self.consts.record_assign(node)
         spec = self._resolve_spec(node.value)
         target = node.targets[0] if len(node.targets) == 1 else None
         if spec is not None and isinstance(target, ast.Name):
@@ -459,6 +583,19 @@ def _parse_waivers(source: str) -> Dict[int, Set[str]]:
 def lint_source(source: str, path: str,
                 ) -> Tuple[List[Finding], List[StaticPrediction]]:
     """Lint one Python source string; returns (findings, predictions)."""
+    findings, predictions, _waived = lint_source_detailed(source, path)
+    return findings, predictions
+
+
+def lint_source_detailed(
+        source: str, path: str,
+) -> Tuple[List[Finding], List[StaticPrediction], Dict[str, int]]:
+    """Like :func:`lint_source`, plus per-id waiver counts.
+
+    The third element maps finding ids to the number of findings that a
+    ``# lint: ignore[...]`` comment silenced, so reports can show how
+    much is being waived without re-running the walk.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -467,11 +604,12 @@ def lint_source(source: str, path: str,
             message=f"cannot parse: {exc.msg}",
             span=Span(file=path, line=exc.lineno or 0,
                       column=exc.offset))
-        return [finding], []
+        return [finding], [], {}
     collector = _FactoryCollector()
     collector.visit(tree)
     module = _module_name(path)
-    walker = _UsageWalker(module, path, collector.factories)
+    walker = _UsageWalker(module, path, collector.factories,
+                          collector.consts)
     walker.visit(tree)
 
     findings: List[Finding] = []
@@ -492,12 +630,14 @@ def lint_source(source: str, path: str,
 
     waivers = _parse_waivers(source)
     kept: List[Finding] = []
+    waived: Dict[str, int] = {}
     for finding in findings:
         ids = waivers.get(finding.span.line)
         if ids is not None and ("*" in ids or finding.id in ids):
+            waived[finding.id] = waived.get(finding.id, 0) + 1
             continue
         kept.append(finding)
-    return kept, predictions
+    return kept, predictions, waived
 
 
 def _expand_paths(paths: Sequence[str]) -> List[str]:
@@ -516,12 +656,24 @@ def _expand_paths(paths: Sequence[str]) -> List[str]:
 def lint_paths(paths: Sequence[str],
                ) -> Tuple[List[Finding], List[StaticPrediction]]:
     """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings, predictions, _waived = lint_paths_detailed(paths)
+    return findings, predictions
+
+
+def lint_paths_detailed(
+        paths: Sequence[str],
+) -> Tuple[List[Finding], List[StaticPrediction], Dict[str, int]]:
+    """Like :func:`lint_paths`, plus aggregated per-id waiver counts."""
     findings: List[Finding] = []
     predictions: List[StaticPrediction] = []
+    waived: Dict[str, int] = {}
     for file_path in _expand_paths(paths):
         with open(file_path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        file_findings, file_predictions = lint_source(source, file_path)
+        file_findings, file_predictions, file_waived = \
+            lint_source_detailed(source, file_path)
         findings.extend(file_findings)
         predictions.extend(file_predictions)
-    return findings, predictions
+        for finding_id, count in file_waived.items():
+            waived[finding_id] = waived.get(finding_id, 0) + count
+    return findings, predictions, waived

@@ -19,6 +19,7 @@ potential, matching the tool behaviour of section 2.1.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.collections.base import CollectionKind
@@ -29,7 +30,24 @@ from repro.rules.builtin import DEFAULT_CONSTANTS, RuleSpec, builtin_rules
 from repro.rules.evaluator import RuleEnvironment, evaluate_condition
 from repro.rules.suggestions import RuleCategory, Suggestion
 
-__all__ = ["RuleEngine"]
+__all__ = ["RuleEngine", "IntervalRuleResult"]
+
+
+@dataclass
+class IntervalRuleResult:
+    """Three-valued static outcome of one rule over interval inputs.
+
+    ``verdict`` is a :class:`repro.lint.intervals.Tri`; the two gate
+    flags record *why* a TRUE condition may still not fire at runtime
+    (stability demotions already show as UNKNOWN; the space gate is
+    runtime-only and purely informational here).
+    """
+
+    rule: str
+    verdict: "object"
+    stability_gated: bool = False
+    space_gated: bool = False
+
 
 _KIND_NAMES = {
     "List": CollectionKind.LIST,
@@ -102,6 +120,62 @@ class RuleEngine:
         primary = matches[0]
         primary.secondary = matches[1:]
         return primary
+
+    def evaluate_intervals(self, profile: ContextProfile,
+                           env: Mapping[str, "object"],
+                           size_stable: bool,
+                           ) -> "tuple":
+        """Static rule evaluation over inferred statistic *intervals*.
+
+        The Layer 2.5 interprocedural linter
+        (:mod:`repro.lint.interproc`) infers an interval per statistic
+        instead of a number; this walks the same rules, in the same
+        priority order, with the same type gate, but evaluates each
+        condition three-valuedly via
+        :func:`repro.lint.intervals.analyze_condition`.
+
+        A condition that is TRUE but size-gated
+        (``requires_stable_size``) while the static size is *not*
+        provably stable demotes to UNKNOWN: the dynamic engine might
+        reject the context at the stability gate.  The space
+        (potential) gate is **not** modelled -- heap potential is a
+        runtime quantity -- so a returned decision means "the dynamic
+        engine decides this rule whenever its space gate clears".
+
+        Returns ``(results, decision)``: one
+        :class:`IntervalRuleResult` per type-matching rule, plus the
+        first provably-firing rule as ``(rule_name, Suggestion)`` when
+        every higher-priority matching rule is provably FALSE (the
+        only case in which the dynamic engine is guaranteed to reach
+        and pick it), else ``None``.
+        """
+        from repro.lint.intervals import Tri, analyze_condition
+
+        results: List[IntervalRuleResult] = []
+        decision = None
+        blocked = False      # an earlier rule *might* fire dynamically
+        for spec in self.rules:
+            if not self._type_matches(spec.rule.src_type, profile):
+                continue
+            verdict = analyze_condition(spec.rule.condition,
+                                        constants=self.constants,
+                                        env=env).verdict
+            stability_gated = False
+            if verdict is Tri.TRUE and spec.requires_stable_size \
+                    and not size_stable:
+                verdict = Tri.UNKNOWN
+                stability_gated = True
+            results.append(IntervalRuleResult(
+                rule=spec.name, verdict=verdict,
+                stability_gated=stability_gated,
+                space_gated=spec.space_gated))
+            if decision is None and not blocked \
+                    and verdict is Tri.TRUE:
+                decision = (spec.name,
+                            self._make_suggestion(spec, profile))
+            if verdict is not Tri.FALSE:
+                blocked = True
+        return results, decision
 
     # ------------------------------------------------------------------
     # Gates

@@ -11,6 +11,9 @@ from repro.workloads.dacapo import (DacapoCompressWorkload,
                                     DacapoCryptoWorkload,
                                     DacapoHsqldbWorkload)
 from repro.workloads.findbugs import FindbugsWorkload
+from repro.workloads.signatures import (register_signature_scenarios,
+                                        scenario_from_signature,
+                                        trace_from_signature)
 from repro.workloads.fop import FopWorkload
 from repro.workloads.pmd import PmdWorkload
 from repro.workloads.soot import SootWorkload
@@ -24,7 +27,8 @@ __all__ = [
     "PmdWorkload", "SootWorkload", "TvlaWorkload", "ContextSpec",
     "SyntheticWorkload", "CompiledTraceWorkload", "HeavyTailWorkload",
     "PhaseShiftWorkload", "MultiTenantWorkload", "register_scenarios",
-    "scenario_names",
+    "scenario_names", "register_signature_scenarios",
+    "scenario_from_signature", "trace_from_signature",
 ]
 
 BENCHMARKS = (TvlaWorkload, SootWorkload, FindbugsWorkload, BloatWorkload,
@@ -42,4 +46,5 @@ def default_workload_registry() -> WorkloadRegistry:
     for workload_class in BENCHMARKS + CONTROLS:
         registry.register(workload_class.name, workload_class)
     register_scenarios(registry)
+    register_signature_scenarios(registry)
     return registry

@@ -14,7 +14,7 @@ import pytest
 from repro.core.chameleon import Chameleon, SessionCache
 from repro.core.config import ToolConfig
 from repro.lint.drift import (LINE_TOLERANCE, DriftEntry, drift_report,
-                              load_sessions)
+                              load_sessions, three_way_report)
 from repro.lint.findings import Severity
 from repro.lint.usage import StaticPrediction, lint_paths
 from repro.workloads.tvla import TvlaWorkload
@@ -156,3 +156,127 @@ class TestMatchingRules:
         findings, entries = drift_report([], [])
         assert findings == [] and entries == []
         assert DriftEntry("agreement", "loc", "ArrayList", "r").rule == "r"
+
+
+class TestThreeWayReport:
+    """Interval verdicts refine the two-way drift statuses."""
+
+    def _prediction(self, line=40):
+        return StaticPrediction(
+            location="repro.workloads.x.run",
+            src_types=frozenset({"ArrayList"}),
+            predicted_rule="incremental-resizing",
+            finding_id="L2-growth-no-capacity",
+            file="x.py", line=line)
+
+    def _session(self, dynamic_line=40):
+        helper = TestMatchingRules()
+        return helper._session(dynamic_line=dynamic_line)
+
+    def _classify(self, verdict):
+        from repro.lint.intervals import Tri
+        return lambda _prediction: Tri[verdict]
+
+    def test_agreement_carries_verdict(self):
+        findings, entries = three_way_report(
+            [self._prediction()], [self._session()],
+            self._classify("TRUE"))
+        (entry,) = [e for e in entries if e.status == "agreement"]
+        assert entry.verdict == "must"
+        (finding,) = [f for f in findings
+                      if f.id == "L3-drift-agreement"]
+        assert "must" in finding.message
+
+    def test_must_without_profile_is_coverage_gap(self):
+        findings, entries = three_way_report(
+            [self._prediction()], [], self._classify("TRUE"))
+        (entry,) = entries
+        assert entry.status == "coverage-gap"
+        (finding,) = findings
+        assert finding.id == "L3-coverage-gap"
+        assert finding.severity is Severity.WARNING
+
+    def test_must_at_profiled_context_is_gated(self):
+        # Dynamic session profiles the context but the rule never
+        # fired there: a dynamic gate blocked it.
+        session = self._session()
+        suggestion = session.suggestions[0]
+        suggestion.rule.text = ("List : #get(int) > REQUIRED_MANY "
+                                "-> replace LinkedList ArrayList")
+        _findings, entries = three_way_report(
+            [self._prediction()], [session], self._classify("TRUE"))
+        statuses = {e.status for e in entries}
+        assert "static-only-gated" in statuses
+
+    def test_refuted_prediction(self):
+        findings, entries = three_way_report(
+            [self._prediction()], [], self._classify("FALSE"))
+        (entry,) = entries
+        assert entry.status == "refuted"
+        assert entry.verdict == "refuted"
+        (finding,) = findings
+        assert finding.id == "L3-refuted"
+        assert finding.severity is Severity.NOTE
+
+    def test_unknown_prediction_is_unsubstantiated(self):
+        findings, entries = three_way_report(
+            [self._prediction()], [], self._classify("UNKNOWN"))
+        (entry,) = entries
+        assert entry.status == "unsubstantiated"
+        (finding,) = findings
+        assert finding.id == "L3-unsubstantiated"
+
+    def test_proposal_confirmed(self):
+        findings, entries = three_way_report(
+            [], [self._session()], self._classify("UNKNOWN"),
+            proposals=[("repro.workloads.x.run", 40, "ArrayList",
+                        "incremental-resizing", "setCapacity(60)")])
+        (entry,) = [e for e in entries
+                    if e.status.startswith("proposal")]
+        assert entry.status == "proposal-confirmed"
+        assert any(f.id == "L3-proposal-confirmed" for f in findings)
+
+    def test_proposal_conflict_is_warning(self):
+        session = self._session()
+        session.suggestions[0].rule.text = (
+            "List : #contains > CONTAINS_MANY -> replace ArrayList "
+            "ArraySet")
+        findings, entries = three_way_report(
+            [], [session], self._classify("UNKNOWN"),
+            proposals=[("repro.workloads.x.run", 40, "ArrayList",
+                        "incremental-resizing", "setCapacity(60)")])
+        (entry,) = [e for e in entries
+                    if e.status.startswith("proposal")]
+        assert entry.status == "proposal-conflict"
+        (finding,) = [f for f in findings
+                      if f.id == "L3-proposal-conflict"]
+        assert finding.severity is Severity.WARNING
+
+    def test_proposal_without_dynamic_site_is_new(self):
+        _findings, entries = three_way_report(
+            [], [], self._classify("UNKNOWN"),
+            proposals=[("repro.workloads.x.run", 40, "ArrayList",
+                        "small-map", "replace with ArrayMap(1)")])
+        (entry,) = entries
+        assert entry.status == "proposal-new"
+
+    def test_tvla_interproc_three_way(self, tvla_session,
+                                      tvla_predictions):
+        # The real pipeline: interval classification of the coarse tvla
+        # predictions against the profiled session.  Every interval
+        # *must* that overlaps a dynamic decision has to agree -- a
+        # refuted agreement would expose an unsound transfer function.
+        from repro.lint.interproc import analyze_paths
+
+        session, _config, _workload = tvla_session
+        report = analyze_paths([TVLA_SOURCE])
+        findings, entries = three_way_report(
+            tvla_predictions, [session], report.classify,
+            report.proposal_rows())
+        by_status = {}
+        for entry in entries:
+            by_status.setdefault(entry.status, []).append(entry)
+        assert len(by_status.get("agreement", [])) >= 1
+        for entry in by_status.get("agreement", []):
+            assert entry.verdict != "refuted"
+        assert not by_status.get("proposal-conflict")

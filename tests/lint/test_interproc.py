@@ -1,0 +1,366 @@
+"""Layer 2.5 interprocedural interval analysis: domain, loops,
+summaries, rule verdicts and the static proposal."""
+
+import textwrap
+
+from repro.lint.interproc import (InterprocReport, analyze_source,
+                                  export_signatures)
+from repro.lint.intervals import Tri
+
+
+def analyze(source, path="src/repro/workloads/example.py"):
+    return analyze_source(textwrap.dedent(source), path)
+
+
+def site_named(report, variable):
+    matches = [s for s in report.sites if s.variable == variable]
+    assert matches, f"no site bound to {variable!r}; " \
+        f"have {[s.variable for s in report.sites]}"
+    return matches[0]
+
+
+def verdict(site, rule, src_type=None):
+    src = src_type or site.src_types[0]
+    return site.verdicts[src][rule]
+
+
+class TestIntervalInference:
+    def test_constant_loop_bound_is_exact(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm):
+                buffer = ChameleonList(vm)
+                for i in range(18):
+                    buffer.add(i)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.lo == 18.0
+        assert site.max_size.hi == 18.0
+        assert site.ops["#add"].lo == 18.0
+        assert site.ops["#add"].hi == 18.0
+        assert site.size_stable
+
+    def test_break_makes_lower_bound_zero(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm, items):
+                buffer = ChameleonList(vm)
+                for i in range(10):
+                    if i in items:
+                        break
+                    buffer.add(i)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.lo == 0.0
+        assert site.max_size.hi == 10.0
+        assert not site.size_stable
+
+    def test_opaque_bound_widens_to_infinity(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm, n):
+                buffer = ChameleonList(vm)
+                for i in range(n):
+                    buffer.add(i)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.lo == 0.0
+        assert site.max_size.hi == float("inf")
+
+    def test_len_bound_propagates(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm):
+                source = [1, 2, 3]
+                buffer = ChameleonList(vm)
+                for item in source:
+                    buffer.add(item)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.lo == 3.0
+        assert site.max_size.hi == 3.0
+
+    def test_augassign_through_loop(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm):
+                total = 0
+                buffer = ChameleonList(vm)
+                for i in range(6):
+                    total += 2
+                    buffer.add(total)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.lo == 6.0
+        assert site.max_size.hi == 6.0
+
+    def test_conditional_growth_straddles(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm, flag):
+                buffer = ChameleonList(vm)
+                if flag:
+                    buffer.add(1)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.lo == 0.0
+        assert site.max_size.hi == 1.0
+
+    def test_while_loop_is_unbounded(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm, queue):
+                buffer = ChameleonList(vm)
+                while queue.pending():
+                    buffer.add(queue.take())
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.hi == float("inf")
+
+    def test_remove_shrinks_but_peak_stays(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm):
+                buffer = ChameleonList(vm)
+                for i in range(5):
+                    buffer.add(i)
+                for i in range(5):
+                    buffer.remove_first()
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.max_size.lo == 5.0
+        assert site.max_size.hi == 5.0
+        assert site.size.lo == 0.0
+
+
+class TestInterproceduralSummaries:
+    FACTORY = """
+        from repro.collections import ChameleonMap
+
+        def make_index(vm):
+            return ChameleonMap(vm)
+
+        def run(vm):
+            index = make_index(vm)
+            for i in range(12):
+                index.put(i, i)
+            return index
+    """
+
+    def test_factory_site_carries_chain(self):
+        report = analyze(self.FACTORY)
+        site = site_named(report, "index")
+        assert site.location.endswith("make_index")
+        assert site.coarse_location.endswith("run")
+        assert site.chain
+        assert "make_index" in site.chain[-1][2]
+
+    def test_callee_mutation_charged_at_callsite(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def fill(buffer):
+                for i in range(7):
+                    buffer.add(i)
+
+            def run(vm):
+                buffer = ChameleonList(vm)
+                fill(buffer)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.ops["#add"].lo == 7.0
+        assert site.ops["#add"].hi == 7.0
+        assert site.max_size.lo == 7.0
+
+    def test_recursion_degrades_soundly(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def fill(buffer, n):
+                if n > 0:
+                    buffer.add(n)
+                    fill(buffer, n - 1)
+
+            def run(vm):
+                buffer = ChameleonList(vm)
+                fill(buffer, 4)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        # A recursive summary may not be exact, but it must not claim
+        # a finite bound tighter than the real growth.
+        assert site.max_size.hi >= 4.0 or site.escaped
+
+    def test_tuple_in_pylist_keeps_tracking(self):
+        # Storing a collection inside a tuple inside a plain Python
+        # list must neither escape the site nor drop later op charges
+        # read back through iteration + unpacking.
+        report = analyze("""
+            from repro.collections import ChameleonMap
+
+            def run(vm):
+                acc = []
+                for i in range(3):
+                    table = ChameleonMap(vm)
+                    table.put(i, i)
+                    acc.append((table,))
+                for (table,) in acc:
+                    table.get(1)
+        """)
+        site = site_named(report, "table")
+        assert not site.escaped
+        assert site.max_size.hi == 1.0
+        gets = site.ops["#get(Object)"]
+        assert gets.lo <= 3.0 <= gets.hi
+
+    def test_escaped_site_is_not_stable(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm, sink):
+                buffer = ChameleonList(vm)
+                buffer.add(1)
+                sink.consume(buffer)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert site.escaped
+        assert not site.size_stable
+
+
+class TestRuleVerdicts:
+    def test_incremental_resizing_proved(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm):
+                buffer = ChameleonList(vm)
+                for i in range(18):
+                    buffer.add(i)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert verdict(site, "incremental-resizing") is Tri.TRUE
+
+    def test_incremental_resizing_refuted_below_threshold(self):
+        # RESIZE_MIN is 8; a provable ceiling of 4 refutes the rule.
+        report = analyze("""
+            from repro.collections import ChameleonMap
+
+            def run(vm):
+                props = ChameleonMap(vm)
+                for i in range(4):
+                    props.put(i, i)
+                return props
+        """)
+        site = site_named(report, "props")
+        assert verdict(site, "incremental-resizing") is Tri.FALSE
+
+    def test_small_map_decision(self):
+        report = analyze("""
+            from repro.collections import ChameleonMap
+
+            def run(vm):
+                singleton = ChameleonMap(vm)
+                singleton.put("k", "v")
+                return singleton
+        """)
+        site = site_named(report, "singleton")
+        assert verdict(site, "small-map") is Tri.TRUE
+        rule, suggestion = site.decisions[site.src_types[0]]
+        assert rule == "small-map"
+        assert "ArrayMap" in suggestion.action.render()
+
+    def test_opaque_bound_gives_unknown(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm, n):
+                buffer = ChameleonList(vm)
+                for i in range(n):
+                    buffer.add(i)
+                return buffer
+        """)
+        site = site_named(report, "buffer")
+        assert verdict(site, "incremental-resizing") is Tri.UNKNOWN
+
+    def test_interval_must_finding_has_related_chain(self):
+        report = analyze("""
+            from repro.collections import ChameleonMap
+
+            def make_map(vm):
+                return ChameleonMap(vm)
+
+            def run(vm):
+                unused = make_map(vm)
+                unused.is_empty()
+                return unused
+        """)
+        musts = [f for f in report.findings
+                 if f.id == "L2I-interval-must"]
+        assert musts
+        assert any(f.related for f in musts)
+
+    def test_proposal_rows_shape(self):
+        report = analyze("""
+            from repro.collections import ChameleonMap
+
+            def run(vm):
+                singleton = ChameleonMap(vm)
+                singleton.put("k", "v")
+                return singleton
+        """)
+        rows = report.proposal_rows()
+        assert rows
+        location, line, src_type, rule, detail = rows[0]
+        assert location.endswith("run")
+        assert line > 0
+        assert src_type == "HashMap"
+        assert rule == "small-map"
+        assert detail
+
+
+class TestSignatureExport:
+    def test_export_schema_and_bounds(self):
+        report = analyze("""
+            from repro.collections import ChameleonList
+
+            def run(vm, n):
+                buffer = ChameleonList(vm)
+                for i in range(18):
+                    buffer.add(i)
+                for i in range(n):
+                    buffer.contains(i)
+                return buffer
+        """)
+        (spec,) = export_signatures(report)
+        assert spec["schema"] == "chameleon-sig"
+        assert spec["kind"] == "list"
+        assert spec["srcType"] == "ArrayList"
+        assert spec["ops"]["#add"] == [18.0, 18.0]
+        # unbounded contains count exports hi=None (JSON-safe)
+        assert spec["ops"]["#contains"][1] is None
+        assert spec["maxSize"] == [18.0, 18.0]
+
+    def test_syntax_error_reported_not_raised(self):
+        report = analyze_source("def broken(:\n", "bad.py")
+        assert isinstance(report, InterprocReport)
+        assert any(f.id == "L2-syntax-error" for f in report.findings)
+        assert report.sites == []

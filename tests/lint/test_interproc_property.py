@@ -1,0 +1,122 @@
+"""Property test: inferred intervals are sound over-approximations.
+
+Generates small collection-using programs (straight-line code, constant
+loops, opaque branches), executes them concretely under every branch
+valuation, and checks that every concrete statistic -- op counts, peak
+size, final size -- falls inside the interval the interprocedural
+analysis infers for the allocation site.  A violation would mean an
+unsound transfer function or loop restoration.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.lint.interproc import analyze_source  # noqa: E402
+
+N_FLAGS = 2
+
+_leaf = st.sampled_from([("add",), ("removefirst",), ("contains",)])
+
+
+def _block(depth):
+    if depth == 0:
+        return st.lists(_leaf, min_size=1, max_size=3)
+    inner = _block(depth - 1)
+    stmt = st.one_of(
+        _leaf,
+        st.tuples(st.just("loop"), st.integers(0, 4), inner),
+        st.tuples(st.just("if"), st.integers(0, N_FLAGS - 1),
+                  inner, inner),
+    )
+    return st.lists(stmt, min_size=1, max_size=4)
+
+
+programs = _block(2)
+
+
+def render(stmts):
+    flags = ", ".join(f"f{i}" for i in range(N_FLAGS))
+    lines = ["from repro.collections import ChameleonList", "",
+             f"def run(vm, {flags}):",
+             "    buffer = ChameleonList(vm)"]
+
+    def emit(block, pad):
+        for stmt in block:
+            if stmt[0] == "add":
+                lines.append(f"{pad}buffer.add(1)")
+            elif stmt[0] == "removefirst":
+                lines.append(f"{pad}if buffer.size() > 0:")
+                lines.append(f"{pad}    buffer.remove_first()")
+            elif stmt[0] == "contains":
+                lines.append(f"{pad}buffer.contains(1)")
+            elif stmt[0] == "loop":
+                _tag, trips, body = stmt
+                lines.append(f"{pad}for i in range({trips}):")
+                emit(body, pad + "    ")
+            else:
+                _tag, flag, then_body, else_body = stmt
+                lines.append(f"{pad}if f{flag}:")
+                emit(then_body, pad + "    ")
+                lines.append(f"{pad}else:")
+                emit(else_body, pad + "    ")
+
+    emit(stmts, "    ")
+    lines.append("    return buffer")
+    return "\n".join(lines) + "\n"
+
+
+def simulate(stmts, flags):
+    """Concrete run: returns (op_counts, peak_size, final_size)."""
+    counts = {"#add": 0, "#removeFirst": 0, "#contains": 0, "#size": 0}
+    size = 0
+    peak = 0
+
+    def run(block):
+        nonlocal size, peak
+        for stmt in block:
+            if stmt[0] == "add":
+                counts["#add"] += 1
+                size += 1
+                peak = max(peak, size)
+            elif stmt[0] == "removefirst":
+                counts["#size"] += 1
+                if size > 0:
+                    counts["#removeFirst"] += 1
+                    size -= 1
+            elif stmt[0] == "contains":
+                counts["#contains"] += 1
+            elif stmt[0] == "loop":
+                for _ in range(stmt[1]):
+                    run(stmt[2])
+            else:
+                run(stmt[2] if flags[stmt[1]] else stmt[3])
+
+    run(stmts)
+    return counts, peak, size
+
+
+def contains(interval, value):
+    return interval.lo - 1e-9 <= value <= interval.hi + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs)
+def test_concrete_runs_fall_inside_inferred_intervals(stmts):
+    source = render(stmts)
+    report = analyze_source(source, "src/repro/workloads/prop.py")
+    (site,) = [s for s in report.sites if s.variable == "buffer"]
+    for flags in itertools.product([False, True], repeat=N_FLAGS):
+        counts, peak, final = simulate(stmts, flags)
+        for dsl, concrete in counts.items():
+            inferred = site.ops.get(dsl)
+            assert inferred is not None, f"missing op interval {dsl}"
+            assert contains(inferred, concrete), \
+                f"{dsl}: concrete {concrete} outside {inferred}\n{source}"
+        assert contains(site.max_size, peak), \
+            f"peak {peak} outside {site.max_size}\n{source}"
+        assert contains(site.size, final), \
+            f"final {final} outside {site.size}\n{source}"

@@ -227,3 +227,87 @@ class TestInfrastructure:
         findings, predictions = lint_paths([workloads])
         assert all(f.severity is not Severity.ERROR for f in findings)
         assert predictions  # the tvla/fop facts the drift test relies on
+
+
+class TestCapacityConstProp:
+    """Regression: ``initial_capacity=`` through named constants.
+
+    The walker resolves module constants, class constants (including
+    ``self.X = ...``), local assignments and keyword defaults before
+    deciding whether a capacity is reliably set; a constant that
+    resolves to ``None`` is *unset* (the profiler sees the default
+    growth path), and an unresolvable name stays conservatively set.
+    """
+
+    def test_module_constant_counts_as_set(self):
+        findings, _ = lint("""
+            CAP = 64
+
+            def run(vm, n):
+                buffer = ChameleonList(vm, initial_capacity=CAP)
+                for i in range(n):
+                    buffer.add(i)
+                return buffer
+        """)
+        assert "L2-growth-no-capacity" not in ids_of(findings)
+
+    def test_module_constant_none_counts_as_unset(self):
+        findings, _ = lint("""
+            CAP = None
+
+            def run(vm, n):
+                buffer = ChameleonList(vm, initial_capacity=CAP)
+                for i in range(n):
+                    buffer.add(i)
+                return buffer
+        """)
+        assert "L2-growth-no-capacity" in ids_of(findings)
+
+    def test_keyword_default_none_counts_as_unset(self):
+        findings, _ = lint("""
+            def run(vm, n, cap=None):
+                buffer = ChameleonList(vm, initial_capacity=cap)
+                for i in range(n):
+                    buffer.add(i)
+                return buffer
+        """)
+        assert "L2-growth-no-capacity" in ids_of(findings)
+
+    def test_self_attribute_constant_resolves(self):
+        findings, _ = lint("""
+            class Job:
+                def __init__(self):
+                    self.cap = None
+
+                def run(self, vm, n):
+                    buffer = ChameleonList(vm, initial_capacity=self.cap)
+                    for i in range(n):
+                        buffer.add(i)
+                    return buffer
+        """)
+        assert "L2-growth-no-capacity" in ids_of(findings)
+
+    def test_conditional_constant_chain(self):
+        findings, _ = lint("""
+            SIZE = 128
+
+            def run(vm, n, fixed):
+                cap = SIZE if fixed else None
+                buffer = ChameleonList(vm, initial_capacity=cap)
+                for i in range(n):
+                    buffer.add(i)
+                return buffer
+        """)
+        assert "L2-growth-no-capacity" in ids_of(findings)
+
+    def test_unresolvable_name_stays_conservative(self):
+        findings, _ = lint("""
+            from repro.config import CAP
+
+            def run(vm, n):
+                buffer = ChameleonList(vm, initial_capacity=CAP)
+                for i in range(n):
+                    buffer.add(i)
+                return buffer
+        """)
+        assert "L2-growth-no-capacity" not in ids_of(findings)

@@ -1,0 +1,115 @@
+"""Signature-seeded workloads: spec -> deterministic trace -> scenario."""
+
+import textwrap
+
+import pytest
+
+from repro.collections.base import CollectionKind
+from repro.lint.interproc import analyze_source, export_signatures
+from repro.runtime.vm import RuntimeEnvironment
+from repro.workloads import default_workload_registry
+from repro.workloads.compiled import CompiledTraceWorkload
+from repro.workloads.signatures import (bundled_signature_specs,
+                                        register_signature_scenarios,
+                                        scenario_from_signature,
+                                        trace_from_signature)
+
+
+def exported_spec(source, variable=None):
+    report = analyze_source(textwrap.dedent(source),
+                            "src/repro/workloads/example.py")
+    specs = export_signatures(report)
+    assert specs
+    return specs[0]
+
+
+LIST_SOURCE = """
+    from repro.collections import ChameleonList
+
+    def run(vm):
+        buffer = ChameleonList(vm)
+        for i in range(18):
+            buffer.add(i)
+        for i in range(6):
+            buffer.contains(i)
+        return buffer
+"""
+
+
+class TestTraceSynthesis:
+    def test_deterministic(self):
+        spec = exported_spec(LIST_SOURCE)
+        first = trace_from_signature(spec)
+        second = trace_from_signature(spec)
+        assert first.to_dict() == second.to_dict()
+
+    def test_realizes_signature_intervals(self):
+        spec = exported_spec(LIST_SOURCE)
+        trace = trace_from_signature(spec)
+        assert trace.kind is CollectionKind.LIST
+        assert trace.src_type == "ArrayList"
+        adds = sum(1 for op in trace.ops if op[0] == "add")
+        lo, hi = spec["ops"]["#add"]
+        assert lo <= adds <= (hi if hi is not None else float("inf"))
+        # walk the trace concretely: peak must satisfy maxSize
+        size = peak = 0
+        for op in trace.ops:
+            if op[0] in ("add", "add_at"):
+                size += 1
+            elif op[0] in ("remove_at", "remove_first", "remove_value"):
+                size -= 1
+            elif op[0] == "clear":
+                size = 0
+            peak = max(peak, size)
+        lo, hi = spec["maxSize"]
+        assert lo <= peak <= (hi if hi is not None else float("inf"))
+
+    def test_meta_records_provenance(self):
+        spec = exported_spec(LIST_SOURCE)
+        trace = trace_from_signature(spec)
+        assert trace.meta["generator"] == "signature"
+        assert trace.meta["signature"] == spec["name"]
+
+    def test_rejects_foreign_schema(self):
+        with pytest.raises(ValueError):
+            trace_from_signature({"schema": "something-else",
+                                  "name": "x", "kind": "list",
+                                  "maxSize": [0, 0]})
+
+
+class TestScenarioRoundTrip:
+    def test_spec_becomes_runnable_workload(self):
+        spec = exported_spec(LIST_SOURCE)
+        workload = scenario_from_signature(spec)
+        assert isinstance(workload, CompiledTraceWorkload)
+        vm = RuntimeEnvironment()
+        workload.run(vm)   # must complete without error
+
+    def test_profiled_peak_within_signature(self):
+        from repro.core.chameleon import Chameleon
+        from repro.core.config import ToolConfig
+
+        spec = exported_spec(LIST_SOURCE)
+        workload = scenario_from_signature(spec, rounds=1, perturb=0.0)
+        session = Chameleon(ToolConfig()).profile(workload)
+        (profile,) = session.report.profiles
+        lo, hi = spec["maxSize"]
+        assert profile.info.max_size_stats.max >= lo
+        if hi is not None:
+            assert profile.info.max_size_stats.max <= hi
+
+    def test_bundled_specs_registered(self):
+        specs = bundled_signature_specs()
+        assert specs, "at least one signature spec must ship bundled"
+        registry = default_workload_registry()
+        names = registry.names()
+        for spec in specs:
+            assert spec["name"] in names
+        workload = registry.create(specs[0]["name"])
+        vm = RuntimeEnvironment()
+        workload.run(vm)
+
+    def test_register_rejects_duplicates(self):
+        registry = default_workload_registry()
+        with pytest.raises(ValueError):
+            register_signature_scenarios(registry)
